@@ -1,0 +1,349 @@
+// Package repro_test benchmarks every experiment of the paper reproduction:
+// one benchmark per figure/table (original vs rewritten execution), plus the
+// scaling, matching-overhead and ablation benches. See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded results.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+const benchScale = 20000
+
+var (
+	envMu    sync.Mutex
+	envCache = map[int]*bench.Env{}
+)
+
+// sharedEnv returns a cached environment with every paper AST registered.
+func sharedEnv(b *testing.B, scale int) *bench.Env {
+	b.Helper()
+	envMu.Lock()
+	defer envMu.Unlock()
+	if e, ok := envCache[scale]; ok {
+		return e
+	}
+	e := bench.NewEnv(scale, core.Options{})
+	for name, sql := range bench.ASTDefs {
+		if _, err := e.RegisterAST(name, sql); err != nil {
+			b.Fatalf("register %s: %v", name, err)
+		}
+	}
+	envCache[scale] = e
+	return e
+}
+
+// benchPair runs original-vs-rewritten sub-benchmarks for one paper pairing.
+func benchPair(b *testing.B, queryKey, astKey string) {
+	env := sharedEnv(b, benchScale)
+	sql := bench.Queries[queryKey]
+	ast := env.ASTs[astKey]
+
+	orig, err := qgm.BuildSQL(sql, env.Cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rewritten, err := qgm.BuildSQL(sql, env.Cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res := env.RW.Rewrite(rewritten, ast); res == nil {
+		b.Fatalf("%s did not rewrite against %s", queryKey, astKey)
+	}
+
+	b.Run("original", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.Engine.Run(orig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rewritten", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.Engine.Run(rewritten); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE01_Fig2_Q1(b *testing.B)    { benchPair(b, "q1", "ast1") }
+func BenchmarkE02_Fig5_Q2(b *testing.B)    { benchPair(b, "q2", "ast2") }
+func BenchmarkE03_Fig6_Q4(b *testing.B)    { benchPair(b, "q4", "ast6") }
+func BenchmarkE04_Fig7_Q6(b *testing.B)    { benchPair(b, "q6", "ast6") }
+func BenchmarkE05_Fig8_Q7(b *testing.B)    { benchPair(b, "q7", "ast7") }
+func BenchmarkE06_Fig10_Q8(b *testing.B)   { benchPair(b, "q8", "ast8") }
+func BenchmarkE07_Fig11_Q10(b *testing.B)  { benchPair(b, "q10", "ast10") }
+func BenchmarkE09_Fig13_Q11(b *testing.B)  { benchPair(b, "q11_1", "ast11") }
+func BenchmarkE09_Fig13_Q112(b *testing.B) { benchPair(b, "q11_2", "ast11") }
+func BenchmarkE10_Fig14_Q121(b *testing.B) { benchPair(b, "q12_1", "ast11") }
+func BenchmarkE10_Fig14_Q122(b *testing.B) { benchPair(b, "q12_2", "ast11") }
+
+// BenchmarkE08_Fig12_CubeSemantics measures grouping-sets evaluation on the
+// paper's Figure 12 sample shape, scaled up.
+func BenchmarkE08_Fig12_CubeSemantics(b *testing.B) {
+	cat := catalog.New()
+	cat.MustAddTable(&catalog.Table{
+		Name: "trans",
+		Columns: []catalog.Column{
+			{Name: "flid", Type: sqltypes.KindInt},
+			{Name: "year", Type: sqltypes.KindInt},
+			{Name: "faid", Type: sqltypes.KindInt},
+		},
+	})
+	store := storage.NewStore()
+	meta, _ := cat.Table("trans")
+	td := store.Create(meta)
+	for i := 0; i < 50000; i++ {
+		td.MustInsert(
+			sqltypes.NewInt(int64(i%40)),
+			sqltypes.NewInt(int64(1990+i%5)),
+			sqltypes.NewInt(int64(i%700)),
+		)
+	}
+	g, err := qgm.BuildSQL(`select flid, year, faid, count(*) as cnt
+		from trans group by grouping sets((flid, year), (year, faid))`, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := exec.NewEngine(store)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11_Table1_Having measures rejection speed for the unsound AST.
+func BenchmarkE11_Table1_Having(b *testing.B) {
+	env := sharedEnv(b, benchScale)
+	ast := env.ASTs["astbad"]
+	sql := bench.Queries["qbad"]
+	for i := 0; i < b.N; i++ {
+		g, err := qgm.BuildSQL(sql, env.Cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := env.RW.Rewrite(g, ast); res != nil {
+			b.Fatal("unsound rewrite accepted")
+		}
+	}
+}
+
+// BenchmarkE12_Speedup sweeps fact-table scales.
+func BenchmarkE12_Speedup(b *testing.B) {
+	for _, scale := range []int{2000, 10000, 50000} {
+		env := sharedEnv(b, scale)
+		for _, pair := range []struct{ q, a string }{
+			{"q1", "ast1"}, {"q7", "ast7"}, {"q11_1", "ast11"},
+		} {
+			orig, err := qgm.BuildSQL(bench.Queries[pair.q], env.Cat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rw, err := qgm.BuildSQL(bench.Queries[pair.q], env.Cat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if env.RW.Rewrite(rw, env.ASTs[pair.a]) == nil {
+				b.Fatalf("%s/%s: no rewrite", pair.q, pair.a)
+			}
+			b.Run(pair.q+"/orig/n="+itoa(scale), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := env.Engine.Run(orig); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(pair.q+"/ast/n="+itoa(scale), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := env.Engine.Run(rw); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE13_MatchOverhead measures matching + splicing latency per query
+// (graph build time measured separately for subtraction).
+func BenchmarkE13_MatchOverhead(b *testing.B) {
+	env := sharedEnv(b, 2000)
+	b.Run("buildOnly/q1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := qgm.BuildSQL(bench.Queries["q1"], env.Cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, pair := range []struct{ q, a string }{
+		{"q1", "ast1"}, {"q8", "ast8"}, {"q10", "ast10"}, {"q12_1", "ast11"},
+	} {
+		b.Run("match/"+pair.q, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := qgm.BuildSQL(bench.Queries[pair.q], env.Cat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if env.RW.Rewrite(g, env.ASTs[pair.a]) == nil {
+					b.Fatal("no rewrite")
+				}
+			}
+		})
+	}
+}
+
+// Ablation benches: the paper's design choices vs their naive alternatives.
+func BenchmarkA01_MinimalQCL(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"minimal", core.Options{}},
+		{"leafFirst", core.Options{LeafFirstDerivation: true}},
+	} {
+		env := bench.NewEnv(2000, mode.opts)
+		ast, err := env.RegisterAST("ast2", bench.ASTDefs["ast2"])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := qgm.BuildSQL(bench.Queries["q2"], env.Cat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if env.RW.Rewrite(g, ast) == nil {
+					b.Fatal("no rewrite")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkA02_RejoinRegroup(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"eliminate1N", core.Options{}},
+		{"alwaysRegroup", core.Options{AlwaysRegroup: true}},
+	} {
+		env := bench.NewEnv(benchScale, mode.opts)
+		ast, err := env.RegisterAST("ast7", bench.ASTDefs["ast7"])
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := qgm.BuildSQL(bench.Queries["q7"], env.Cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if env.RW.Rewrite(g, ast) == nil {
+			b.Fatal("no rewrite")
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := env.Engine.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkA03_CuboidChoice(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"smallest", core.Options{}},
+		{"first", core.Options{FirstCuboid: true}},
+	} {
+		env := bench.NewEnv(benchScale, mode.opts)
+		ast, err := env.RegisterAST("ast11", bench.ASTDefs["ast11"])
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := qgm.BuildSQL(bench.Queries["q11_1"], env.Cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if env.RW.Rewrite(g, ast) == nil {
+			b.Fatal("no rewrite")
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := env.Engine.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// BenchmarkE14_DSSuite measures the TPC-D-style suite end to end: total
+// latency against base tables vs routed through the deployed AST set.
+func BenchmarkE14_DSSuite(b *testing.B) {
+	env := bench.NewEnv(benchScale, core.Options{})
+	var asts []*core.CompiledAST
+	for _, d := range workload.DSASTs {
+		ca, err := env.RegisterAST(d.Name, d.SQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asts = append(asts, ca)
+	}
+	var origs, rewrites []*qgm.Graph
+	for _, q := range workload.DSQueries {
+		og, err := qgm.BuildSQL(q.SQL, env.Cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		origs = append(origs, og)
+		rg, _ := qgm.BuildSQL(q.SQL, env.Cat)
+		env.RW.RewriteBestCost(rg, asts, env.Store)
+		rewrites = append(rewrites, rg)
+	}
+	b.Run("original", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range origs {
+				if _, err := env.Engine.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("rewritten", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range rewrites {
+				if _, err := env.Engine.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

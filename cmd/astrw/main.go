@@ -1,0 +1,427 @@
+// Command astrw is a small SQL shell over the reproduction: it accepts
+// CREATE TABLE (with PRIMARY KEY / UNIQUE / FOREIGN KEY constraints), INSERT,
+// CREATE SUMMARY TABLE name AS SELECT (the DB2 syntax for Automatic Summary
+// Tables), SELECT, and EXPLAIN SELECT. Every SELECT is first routed through
+// the matching algorithm against all registered summary tables; when a match
+// is found the rewritten query runs instead and both forms are printed.
+//
+// Usage:
+//
+//	astrw -f script.sql            # run a script
+//	astrw -demo                    # load the paper's star schema + data, then read stdin
+//	echo "select ..." | astrw -demo
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/parser"
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+type shell struct {
+	cat     *catalog.Catalog
+	store   *storage.Store
+	engine  *exec.Engine
+	rw      *core.Rewriter
+	asts    []*core.CompiledAST
+	out     io.Writer
+	maxRows int
+}
+
+func main() {
+	file := flag.String("f", "", "SQL script to execute (default: stdin)")
+	demo := flag.Bool("demo", false, "preload the paper's credit-card star schema with synthetic data")
+	scale := flag.Int("scale", 10000, "demo fact-table rows")
+	maxRows := flag.Int("maxrows", 20, "maximum result rows to print")
+	flag.Parse()
+
+	sh := &shell{
+		cat:     catalog.New(),
+		store:   storage.NewStore(),
+		out:     os.Stdout,
+		maxRows: *maxRows,
+	}
+	sh.engine = exec.NewEngine(sh.store)
+	sh.rw = core.NewRewriter(sh.cat, core.Options{})
+
+	if *demo {
+		workload.Schema(sh.cat)
+		workload.Load(sh.cat, sh.store, workload.StarConfig{NumTrans: *scale, Seed: 1})
+		fmt.Fprintf(sh.out, "-- demo schema loaded: trans(%d rows), loc, pgroup, acct, cust\n",
+			sh.store.MustTable("trans").Cardinality())
+	}
+
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "astrw: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sh.runScript(string(src)); err != nil {
+			fmt.Fprintf(os.Stderr, "astrw: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if interactive() {
+		sh.repl()
+		return
+	}
+	src, err := io.ReadAll(bufio.NewReader(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "astrw: %v\n", err)
+		os.Exit(1)
+	}
+	if err := sh.runScript(string(src)); err != nil {
+		fmt.Fprintf(os.Stderr, "astrw: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// interactive reports whether stdin is a terminal.
+func interactive() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// runScript executes a whole ';'-separated script, stopping at the first
+// error.
+func (sh *shell) runScript(src string) error {
+	stmts, err := parser.ParseScript(src)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if err := sh.exec(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repl reads statements interactively, one ';'-terminated statement at a
+// time; errors are reported without exiting.
+func (sh *shell) repl() {
+	fmt.Fprintln(sh.out, "astrw — Automatic Summary Table shell. Statements end with ';'. Ctrl-D to exit.")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(sh.out, "ast> ")
+		} else {
+			fmt.Fprint(sh.out, "...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			if err := sh.runScript(buf.String()); err != nil {
+				fmt.Fprintf(sh.out, "error: %v\n", err)
+			}
+			buf.Reset()
+		}
+		prompt()
+	}
+	fmt.Fprintln(sh.out)
+}
+
+func (sh *shell) exec(stmt parser.Statement) error {
+	switch s := stmt.(type) {
+	case *parser.CreateTableStmt:
+		return sh.createTable(s)
+	case *parser.CreateASTStmt:
+		return sh.createAST(s)
+	case *parser.InsertStmt:
+		return sh.insert(s)
+	case *parser.ExplainStmt:
+		return sh.query(s.Query, true)
+	case *parser.SelectStmt:
+		return sh.query(s, false)
+	case *parser.LoadStmt:
+		return sh.load(s)
+	default:
+		return fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+// load bulk-loads a CSV file into a declared table, coercing cells by the
+// declared column types. An optional header row matching the column names is
+// skipped. Empty cells become NULL.
+func (sh *shell) load(s *parser.LoadStmt) error {
+	meta, ok := sh.cat.Table(s.Table)
+	if !ok {
+		return fmt.Errorf("table %q not found", s.Table)
+	}
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.TrimLeadingSpace = true
+	r.FieldsPerRecord = -1 // our own arity check reports a clearer error
+	td, ok := sh.store.Table(s.Table)
+	if !ok {
+		td = sh.store.Create(meta)
+	}
+	n := 0
+	first := true
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if first {
+			first = false
+			if isHeaderRow(rec, meta) {
+				continue
+			}
+		}
+		if len(rec) != len(meta.Columns) {
+			return fmt.Errorf("%s: row %d has %d cells, table has %d columns", s.Path, n+1, len(rec), len(meta.Columns))
+		}
+		row := make([]sqltypes.Value, len(rec))
+		for i, cell := range rec {
+			v, err := coerceCell(cell, meta.Columns[i].Type)
+			if err != nil {
+				return fmt.Errorf("%s: row %d column %s: %w", s.Path, n+1, meta.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		if err := td.Insert(row); err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Fprintf(sh.out, "-- loaded %d row(s) into %s from %s\n", n, s.Table, s.Path)
+	return nil
+}
+
+func isHeaderRow(rec []string, meta *catalog.Table) bool {
+	if len(rec) != len(meta.Columns) {
+		return false
+	}
+	for i, cell := range rec {
+		if !strings.EqualFold(strings.TrimSpace(cell), meta.Columns[i].Name) {
+			return false
+		}
+	}
+	return true
+}
+
+func coerceCell(cell string, kind sqltypes.Kind) (sqltypes.Value, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" || strings.EqualFold(cell, "null") {
+		return sqltypes.Null, nil
+	}
+	switch kind {
+	case sqltypes.KindInt:
+		i, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewInt(i), nil
+	case sqltypes.KindFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewFloat(f), nil
+	case sqltypes.KindBool:
+		b, err := strconv.ParseBool(cell)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool(b), nil
+	case sqltypes.KindDate:
+		return sqltypes.ParseDate(cell)
+	default:
+		return sqltypes.NewString(cell), nil
+	}
+}
+
+func (sh *shell) createTable(s *parser.CreateTableStmt) error {
+	t := &catalog.Table{Name: s.Name, PrimaryKey: s.PrimaryKey, UniqueKeys: s.Uniques}
+	for _, c := range s.Columns {
+		t.Columns = append(t.Columns, catalog.Column{Name: c.Name, Type: c.Type, Nullable: !c.NotNull})
+	}
+	if err := sh.cat.AddTable(t); err != nil {
+		return err
+	}
+	meta, _ := sh.cat.Table(s.Name)
+	sh.store.Create(meta)
+	for _, fk := range s.ForeignKeys {
+		if err := sh.cat.AddForeignKey(catalog.ForeignKey{
+			ChildTable: s.Name, ChildCols: fk.Cols,
+			ParentTable: fk.ParentTable, ParentCols: fk.ParentCols,
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(sh.out, "-- created table %s\n", s.Name)
+	return nil
+}
+
+func (sh *shell) createAST(s *parser.CreateASTStmt) error {
+	ca, err := sh.rw.CompileAST(catalog.ASTDef{Name: s.Name, SQL: s.Query.SQL()})
+	if err != nil {
+		return err
+	}
+	res, err := sh.engine.Run(ca.Graph)
+	if err != nil {
+		return fmt.Errorf("materializing %s: %w", s.Name, err)
+	}
+	sh.store.Put(ca.Table, res.Rows)
+	sh.asts = append(sh.asts, ca)
+	fmt.Fprintf(sh.out, "-- summary table %s materialized (%d rows)\n", s.Name, len(res.Rows))
+	return nil
+}
+
+func (sh *shell) insert(s *parser.InsertStmt) error {
+	meta, ok := sh.cat.Table(s.Table)
+	if !ok {
+		return fmt.Errorf("table %q not found", s.Table)
+	}
+	td, ok := sh.store.Table(s.Table)
+	if !ok {
+		td = sh.store.Create(meta)
+	}
+	for _, row := range s.Rows {
+		vals := make([]sqltypes.Value, len(row))
+		for i, e := range row {
+			lit, ok := e.(*parser.Lit)
+			if !ok {
+				return fmt.Errorf("INSERT values must be literals, got %s", e.SQL())
+			}
+			vals[i] = lit.Val
+			// Coerce ISO date strings into DATE-typed columns.
+			if i < len(meta.Columns) && meta.Columns[i].Type == sqltypes.KindDate &&
+				lit.Val.Kind() == sqltypes.KindString {
+				d, err := sqltypes.ParseDate(lit.Val.Str())
+				if err != nil {
+					return err
+				}
+				vals[i] = d
+			}
+		}
+		if err := td.Insert(vals); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(sh.out, "-- inserted %d row(s) into %s\n", len(s.Rows), s.Table)
+	return nil
+}
+
+func (sh *shell) query(s *parser.SelectStmt, explainOnly bool) error {
+	fmt.Fprintf(sh.out, "\n> %s\n", s.SQL())
+	g, err := qgm.Build(s, sh.cat)
+	if err != nil {
+		return err
+	}
+	res := sh.rw.RewriteBest(g, sh.asts)
+	if res != nil {
+		fmt.Fprintf(sh.out, "-- rewritten to read summary table %s:\n--   %s\n", res.AST.Def.Name, g.SQL())
+	} else if len(sh.asts) > 0 {
+		fmt.Fprintln(sh.out, "-- no summary table matches; executing against base tables")
+		if explainOnly {
+			// Show why each summary table was rejected.
+			for _, ca := range sh.asts {
+				gx, err := qgm.Build(s, sh.cat)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(sh.out, "--   %s:\n", ca.Def.Name)
+				for _, te := range sh.rw.Explain(gx, ca) {
+					mark := "✗"
+					if te.Matched {
+						mark = "✓"
+					}
+					fmt.Fprintf(sh.out, "--     %s %s vs %s: %s\n", mark, te.Subsumee, te.Subsumer, te.Reason)
+				}
+			}
+		}
+	}
+	if explainOnly {
+		return nil
+	}
+	result, err := sh.engine.Run(g)
+	if err != nil {
+		return err
+	}
+	exec.SortRows(result.Rows)
+	sh.printResult(result)
+	return nil
+}
+
+func (sh *shell) printResult(r *exec.Result) {
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	n := len(r.Rows)
+	shown := n
+	if shown > sh.maxRows {
+		shown = sh.maxRows
+	}
+	cells := make([][]string, shown)
+	for i := 0; i < shown; i++ {
+		cells[i] = make([]string, len(r.Rows[i]))
+		for j, v := range r.Rows[i] {
+			cells[i][j] = v.String()
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range r.Cols {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString(pad(c, widths[i]))
+	}
+	fmt.Fprintln(sh.out, sb.String())
+	for i := 0; i < shown; i++ {
+		sb.Reset()
+		for j, c := range cells[i] {
+			if j > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(pad(c, widths[j]))
+		}
+		fmt.Fprintln(sh.out, sb.String())
+	}
+	if shown < n {
+		fmt.Fprintf(sh.out, "... (%d more rows)\n", n-shown)
+	}
+	fmt.Fprintf(sh.out, "(%d rows)\n", n)
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}

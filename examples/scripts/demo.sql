@@ -1,0 +1,38 @@
+-- Demo script for the astrw shell (run with: go run ./cmd/astrw -f examples/scripts/demo.sql)
+-- Builds a tiny schema by hand, declares a summary table, and shows rewrites.
+
+create table sales (
+    sid int not null,
+    region varchar(16) not null,
+    product varchar(16) not null,
+    sold date not null,
+    amount double not null,
+    primary key (sid)
+);
+
+insert into sales values
+    (1, 'west', 'tv',    '1990-01-05', 500.0),
+    (2, 'west', 'radio', '1990-02-11', 120.0),
+    (3, 'east', 'tv',    '1990-03-20', 480.0),
+    (4, 'east', 'tv',    '1991-07-04', 510.0),
+    (5, 'west', 'radio', '1991-08-15', 130.0),
+    (6, 'east', 'radio', '1991-09-01', 110.0),
+    (7, 'west', 'tv',    '1991-10-30', 495.0);
+
+create summary table sales_by_region_year as
+    select region, year(sold) as year, count(*) as cnt, sum(amount) as revenue
+    from sales
+    group by region, year(sold);
+
+-- Served exactly by the summary table.
+select region, year(sold) as year, sum(amount) as revenue
+from sales
+group by region, year(sold);
+
+-- Coarser grouping: re-aggregated from the summary table.
+select region, sum(amount) as revenue, count(*) as cnt
+from sales
+group by region;
+
+-- EXPLAIN shows the routing decision (and the reasons when nothing matches).
+explain select product, sum(amount) as revenue from sales group by product;

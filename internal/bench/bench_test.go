@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every registered experiment at a small scale;
+// each must succeed and print a table. This keeps the EXPERIMENTS.md pipeline
+// from rotting.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments skipped in -short mode")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, 3000); err != nil {
+				t.Fatalf("%s (%s): %v\noutput so far:\n%s", e.ID, e.PaperRef, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+// TestPairingsCoverAllFiguresAndQueries: every declared query and AST is used
+// by some pairing, and each pairing has SQL.
+func TestPairingsCoverAllFiguresAndQueries(t *testing.T) {
+	usedQ := map[string]bool{}
+	usedA := map[string]bool{}
+	for _, p := range pairings {
+		if _, ok := Queries[p.Query]; !ok {
+			t.Errorf("pairing references unknown query %q", p.Query)
+		}
+		if _, ok := ASTDefs[p.AST]; !ok {
+			t.Errorf("pairing references unknown AST %q", p.AST)
+		}
+		usedQ[p.Query] = true
+		usedA[p.AST] = true
+	}
+	for q := range Queries {
+		if !usedQ[q] {
+			t.Errorf("query %q not paired", q)
+		}
+	}
+	for a := range ASTDefs {
+		if !usedA[a] {
+			t.Errorf("AST %q not paired", a)
+		}
+	}
+}
+
+func TestTrialSpeedup(t *testing.T) {
+	env := NewEnv(1000, coreOptions())
+	ast, err := env.RegisterAST("ast7", ASTDefs["ast7"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := env.RunTrial(Queries["q7"], ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Rewritten || !tr.Verified {
+		t.Fatalf("trial failed: %+v", tr)
+	}
+	if tr.Speedup() <= 0 {
+		t.Fatalf("speedup %f", tr.Speedup())
+	}
+	if !strings.Contains(strings.ToLower(tr.NewSQL), "ast7") {
+		t.Fatalf("NewSQL does not read the AST: %s", tr.NewSQL)
+	}
+}
+
+func TestTableWriter(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := newTable("a", "long_header")
+	tbl.add("x", 42)
+	tbl.add("yy", 3.14159)
+	tbl.flush(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "long_header") || !strings.Contains(out, "3.14") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/maintain"
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+	"repro/internal/workload"
+)
+
+// RunE14 reproduces the paper's headline evaluation style: a TPC-D-flavoured
+// decision-support suite routed through a small deployed AST set with
+// cost-based applicability (intro problem (b)). It reports, per query, which
+// AST serves it and the speedup, plus suite-level aggregates — the shape to
+// compare with the paper's "dramatic improvements ... using a small number of
+// ASTs in each case".
+func RunE14(w io.Writer, scale int) error {
+	env := NewEnv(scale, core.Options{})
+	var asts []*core.CompiledAST
+	totalASTRows := 0
+	for _, d := range workload.DSASTs {
+		ca, err := env.RegisterAST(d.Name, d.SQL)
+		if err != nil {
+			return err
+		}
+		asts = append(asts, ca)
+		totalASTRows += env.Cardinality(d.Name)
+	}
+	fmt.Fprintf(w, "fact rows: %d; %d ASTs totalling %d rows (%.1fx compression)\n",
+		env.Cardinality("trans"), len(asts), totalASTRows,
+		float64(env.Cardinality("trans"))/float64(max(1, totalASTRows)))
+
+	tbl := newTable("query", "served_by", "verified", "t_orig", "t_new", "speedup")
+	served := 0
+	var sumOrig, sumNew time.Duration
+	for _, q := range workload.DSQueries {
+		origRes, origDur, err := env.Run(q.SQL)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.Name, err)
+		}
+		sumOrig += origDur
+
+		g, err := qgm.BuildSQL(q.SQL, env.Cat)
+		if err != nil {
+			return err
+		}
+		res := env.RW.RewriteBestCost(g, asts, env.Store)
+		if res == nil {
+			tbl.add(q.Name, "(base tables)", "-", origDur, "-", "-")
+			sumNew += origDur
+			continue
+		}
+		start := time.Now()
+		newRes, err := env.Engine.Run(g)
+		if err != nil {
+			return fmt.Errorf("%s rewritten: %w\n%s", q.Name, err, g.SQL())
+		}
+		newDur := time.Since(start)
+		sumNew += newDur
+		diff := exec.EqualResults(origRes, newRes)
+		if diff != "" {
+			return fmt.Errorf("%s: UNSOUND: %s", q.Name, diff)
+		}
+		served++
+		tbl.add(q.Name, res.AST.Def.Name, "yes", origDur, newDur,
+			float64(origDur)/float64(newDur))
+	}
+	tbl.flush(w)
+	fmt.Fprintf(w, "%d/%d queries served by ASTs; suite latency %s → %s (%.1fx)\n",
+		served, len(workload.DSQueries), formatDur(sumOrig), formatDur(sumNew),
+		float64(sumOrig)/float64(max64(1, int64(sumNew))))
+	return nil
+}
+
+// RunE15 exercises the companion problems end to end: the HRU greedy advisor
+// (intro problem (a)) picks cuboids on measured cardinalities, the picked
+// ASTs are materialized and kept fresh by incremental maintenance (problem
+// (c)) under insert batches, and the suite keeps verifying against them.
+func RunE15(w io.Writer, scale int) error {
+	env := NewEnv(min(scale, 20000), core.Options{})
+
+	cfg := advisor.Config{
+		Fact: "trans",
+		Dims: []advisor.Dimension{
+			{Name: "flid", Expr: "flid"},
+			{Name: "faid", Expr: "faid"},
+			{Name: "fpgid", Expr: "fpgid"},
+			{Name: "year", Expr: "year(date)"},
+		},
+		Aggs: []string{"count(*) as cnt", "sum(qty) as sum_qty"},
+		K:    3,
+	}
+	props, lattice, err := advisor.SelectASTs(cfg, env.Cat, env.Store)
+	if err != nil {
+		return err
+	}
+	tbl := newTable("pick", "cuboid", "rows", "benefit")
+	for i, p := range props {
+		tbl.add(i+1, fmt.Sprintf("%v", p.Dims), p.Rows, p.Benefit)
+	}
+	tbl.flush(w)
+	fmt.Fprintf(w, "lattice top (fact) = %d rows\n", lattice.Size[lattice.Top()])
+
+	// Materialize proposals and build maintenance plans.
+	m := maintain.New(env.Store)
+	var plans []*maintain.Plan
+	var asts []*core.CompiledAST
+	for _, p := range props {
+		ca, err := env.RegisterAST(p.Def.Name, p.Def.SQL)
+		if err != nil {
+			return err
+		}
+		asts = append(asts, ca)
+		plan := m.Analyze(ca)
+		plans = append(plans, plan)
+		fmt.Fprintf(w, "%s: maintenance=%s\n", p.Def.Name, plan.Strategy)
+	}
+
+	// Insert batches and refresh.
+	tbl2 := newTable("batch", "rows", "ast", "strategy", "delta_groups", "merged", "added", "t_refresh")
+	nextTid := int64(10_000_000)
+	for batch := 1; batch <= 3; batch++ {
+		rows := syntheticTransRows(env, nextTid, 500)
+		nextTid += int64(len(rows))
+		stats, err := m.ApplyInsert(plans, "trans", rows)
+		if err != nil {
+			return err
+		}
+		for _, st := range stats {
+			tbl2.add(batch, len(rows), st.AST, st.Strategy.String(), st.DeltaRows, st.Merged, st.Added, st.Duration)
+		}
+	}
+	tbl2.flush(w)
+
+	// Queries still verify against the maintained ASTs.
+	verified := 0
+	for _, q := range []string{
+		"select flid, year(date) as year, count(*) as cnt from trans group by flid, year(date)",
+		"select fpgid, sum(qty) as s from trans group by fpgid",
+		"select year(date) as year, count(*) as cnt from trans group by year(date)",
+	} {
+		origRes, _, err := env.Run(q)
+		if err != nil {
+			return err
+		}
+		g, err := qgm.BuildSQL(q, env.Cat)
+		if err != nil {
+			return err
+		}
+		if env.RW.RewriteBest(g, asts) == nil {
+			continue
+		}
+		newRes, err := env.Engine.Run(g)
+		if err != nil {
+			return err
+		}
+		if diff := exec.EqualResults(origRes, newRes); diff != "" {
+			return fmt.Errorf("post-maintenance mismatch: %s\n%s", diff, g.SQL())
+		}
+		verified++
+	}
+	fmt.Fprintf(w, "%d/3 follow-up queries served by maintained ASTs and verified\n", verified)
+	return nil
+}
+
+// syntheticTransRows builds RI-consistent insert batches.
+func syntheticTransRows(env *Env, firstTid int64, n int) [][]sqltypes.Value {
+	accts := env.Cardinality("acct")
+	locs := env.Cardinality("loc")
+	pgs := env.Cardinality("pgroup")
+	rows := make([][]sqltypes.Value, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, []sqltypes.Value{
+			sqltypes.NewInt(firstTid + int64(i)),
+			sqltypes.NewInt(int64(1 + (i*7)%accts)),
+			sqltypes.NewInt(int64(1 + (i*5)%pgs)),
+			sqltypes.NewInt(int64(1 + (i*3)%locs)),
+			sqltypes.NewDate(1990+i%3, 1+i%12, 1+i%28),
+			sqltypes.NewInt(int64(1 + i%5)),
+			sqltypes.NewFloat(float64(10+i%490) / 2),
+			sqltypes.NewFloat(float64(i%30) / 100),
+		})
+	}
+	return rows
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

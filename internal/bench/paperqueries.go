@@ -1,0 +1,143 @@
+package bench
+
+// The figures' queries and ASTs, adapted to the Figure 1 schema exactly as
+// printed in the paper (HAVING thresholds scale with the synthetic data; the
+// paper's "count(*) > 100" assumes production volumes).
+
+// ASTDefs maps AST names to their defining SQL.
+var ASTDefs = map[string]string{
+	// Figure 2.
+	"ast1": `select faid, flid, year(date) as year, count(*) as cnt
+	         from trans
+	         group by faid, flid, year(date)`,
+
+	// Figure 5.
+	"ast2": `select tid, faid, fpgid, status, country, price, qty, disc, qty * price as value
+	         from trans, loc, acct
+	         where lid = flid and faid = aid and disc > 0.1`,
+
+	// Figures 6 and 7 share the monthly-value AST.
+	"ast6": `select year(date) as year, month(date) as month, sum(qty * price) as value
+	         from trans
+	         group by year(date), month(date)`,
+
+	// Figure 8.
+	"ast7": `select flid, year(date) as year, count(*) as cnt
+	         from trans
+	         group by flid, year(date)`,
+
+	// Figure 10 (histogram of monthly transaction counts).
+	"ast8": `select year, tcnt, count(*) as mcnt
+	         from (select year(date) as year, month(date) as month, count(*) as tcnt
+	               from trans
+	               group by year(date), month(date)) m
+	         group by year, tcnt`,
+
+	// Figure 11 (per-location yearly counts plus the grand total).
+	"ast10": `select flid, year(date) as year, count(*) as cnt,
+	                 (select count(*) from trans) as totcnt
+	          from trans
+	          group by flid, year(date)`,
+
+	// Figures 13 and 14 (the multidimensional AST).
+	"ast11": `select flid, faid, year(date) as year, month(date) as month, count(*) as cnt
+	          from trans
+	          group by grouping sets((flid, faid, year(date)), (flid, year(date)),
+	                                 (flid, year(date), month(date)), (year(date)))`,
+
+	// Table 1 (the unsound variant: HAVING inside the AST).
+	"astbad": `select flid, year(date) as year, count(*) as cnt
+	           from trans
+	           group by flid, year(date)
+	           having count(*) > 2`,
+}
+
+// Queries maps query names to their SQL.
+var Queries = map[string]string{
+	"q1": `select faid, state, year(date) as year, count(*) as cnt
+	       from trans, loc
+	       where flid = lid and country = 'USA'
+	       group by faid, state, year(date)
+	       having count(*) > 3`,
+
+	"q2": `select aid, status, qty * price * (1 - disc) as amt
+	       from trans, pgroup, acct
+	       where pgid = fpgid and faid = aid
+	       and price > 100 and disc > 0.1 and pgname = 'TV'`,
+
+	"q4": `select year(date) as year, sum(qty * price) as value
+	       from trans
+	       group by year(date)`,
+
+	"q6": `select year(date) % 100 as yy, sum(qty * price) as value
+	       from trans
+	       where month(date) >= 6
+	       group by year(date) % 100`,
+
+	"q7": `select lid, year(date) as year, count(*) as cnt
+	       from trans, loc
+	       where flid = lid and country = 'USA'
+	       group by lid, year(date)`,
+
+	"q8": `select tcnt, count(*) as ycnt
+	       from (select year(date) as year, month(date) as month, count(*) as tcnt
+	             from trans
+	             group by year(date), month(date)) m
+	       group by tcnt`,
+
+	"q10": `select flid, count(*) * 100 / (select count(*) from trans) as cntpct
+	        from trans, loc
+	        where flid = lid and country = 'USA'
+	        group by flid
+	        having count(*) > 2`,
+
+	"q11_1": `select flid, year(date) as year, count(*) as cnt
+	          from trans
+	          where year(date) > 1990
+	          group by flid, year(date)`,
+
+	"q11_2": `select flid, year(date) as year, count(*) as cnt
+	          from trans
+	          where month(date) >= 6
+	          group by flid, year(date)`,
+
+	"q11_3": `select flid, year(date) as year, month(date) as month,
+	                 count(distinct faid) as custcnt
+	          from trans
+	          group by flid, year(date), month(date)`,
+
+	"q12_1": `select flid, year(date) as year, count(*) as cnt
+	          from trans
+	          where year(date) > 1990
+	          group by grouping sets((flid, year(date)), (year(date)))`,
+
+	"q12_2": `select flid, year(date) as year, count(*) as cnt
+	          from trans
+	          where year(date) > 1990
+	          group by grouping sets((flid), (year(date)))`,
+
+	"qbad": `select flid, count(*) as cnt
+	         from trans
+	         group by flid`,
+}
+
+// pairings lists which AST each paper query targets.
+var pairings = []struct {
+	Query, AST string
+	WantMatch  bool
+	Figure     string
+}{
+	{"q1", "ast1", true, "Figure 2"},
+	{"q2", "ast2", true, "Figure 5"},
+	{"q4", "ast6", true, "Figure 6"},
+	{"q6", "ast6", true, "Figure 7"},
+	{"q7", "ast7", true, "Figure 8"},
+	{"q8", "ast8", true, "Figure 10"},
+	{"q10", "ast10", true, "Figure 11"},
+	{"q11_1", "ast11", true, "Figure 13"},
+	{"q11_2", "ast11", true, "Figure 13"},
+	{"q11_3", "ast11", false, "Figure 13"},
+	{"q12_1", "ast11", true, "Figure 14"},
+	{"q12_2", "ast11", true, "Figure 14"},
+	{"qbad", "astbad", false, "Table 1"},
+}

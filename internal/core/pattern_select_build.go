@@ -1,0 +1,186 @@
+package core
+
+import (
+	"repro/internal/qgm"
+)
+
+// buildSelectComp constructs the compensation for the SELECT patterns without
+// grouping child compensation (§4.1.1, §4.2.3): a single SELECT box over the
+// subsumer that rejoins the rejoin children, re-applies all unsatisfied
+// subsumee and child-compensation predicates, and derives the subsumee's
+// output columns.
+func (m *Matcher) buildSelectComp(e, r *qgm.Box, a *assignment, t *translator, eqR *qgm.Equiv, pool []*poolEntry) *Match {
+	// Collect rejoin quantifiers: the subsumee's own rejoin children plus the
+	// rejoin children inside SELECT-only child compensations (§4.2.3: the
+	// compensation "includes the rejoin children (if any)").
+	rejoins := append([]*qgm.Quantifier(nil), a.rejoins...)
+	for _, p := range a.pairs {
+		if p.m.Exact {
+			continue
+		}
+		for _, b := range p.m.Stack {
+			for _, q := range b.Quantifiers {
+				if q != p.m.SubQ {
+					rejoins = append(rejoins, q)
+				}
+			}
+		}
+	}
+
+	c := m.newCompBox(qgm.SelectBox, compLabel("Sel"))
+	qSub := m.newQuant(qgm.ForEach, r, "")
+	rmap, cloneQs := m.cloneRejoins(rejoins)
+	c.Quantifiers = append([]*qgm.Quantifier{qSub}, cloneQs...)
+
+	d := &deriver{
+		eq:        eqR,
+		sources:   subsumerSources(r, qSub, nil),
+		rejoinMap: rmap,
+		leafFirst: m.opts.LeafFirstDerivation,
+	}
+
+	// Conditions 3 and 5: re-apply unsatisfied predicates, derived from the
+	// subsumer's outputs and rejoin columns.
+	for _, pe := range pool {
+		if pe.satisfied {
+			continue
+		}
+		dp, err := d.derive(pe.rspace)
+		if err != nil {
+			return nil
+		}
+		c.Preds = append(c.Preds, dp)
+	}
+
+	// Condition 4: every subsumee output column must be derivable.
+	for _, col := range e.Cols {
+		rs, err := t.translate(col.Expr)
+		if err != nil {
+			return nil
+		}
+		dp, err := d.derive(rs)
+		if err != nil {
+			return nil
+		}
+		c.Cols = append(c.Cols, qgm.QCL{Name: col.Name, Expr: dp})
+	}
+	c.Distinct = e.Distinct
+
+	// Exactness: empty compensation modulo projection (footnote 5). With
+	// DISTINCT, the subsumer must itself be DISTINCT and the projection must
+	// keep all subsumer columns, otherwise projecting could re-introduce
+	// duplicates the compensation must remove.
+	if len(rejoins) == 0 && len(c.Preds) == 0 && e.Distinct == r.Distinct {
+		colMap := make([]int, len(c.Cols))
+		pure := true
+		seen := map[int]bool{}
+		for i, col := range c.Cols {
+			cr, ok := col.Expr.(*qgm.ColRef)
+			if !ok || cr.Q != qSub || seen[cr.Col] {
+				pure = false
+				break
+			}
+			seen[cr.Col] = true
+			colMap[i] = cr.Col
+		}
+		if pure && (!e.Distinct || len(seen) == len(r.Cols)) {
+			return &Match{Subsumee: e, Subsumer: r, Exact: true, ColMap: colMap}
+		}
+	}
+
+	mm := &Match{Subsumee: e, Subsumer: r, Stack: []*qgm.Box{c}, SubQ: qSub}
+	mm.indexComp()
+	return mm
+}
+
+// buildSelectGBComp constructs the compensation for §4.2.4: the grouping
+// child compensation stack is pulled up above the subsumer (cloned level by
+// level, deriving the bottom level from the subsumer's outputs and creating
+// pass-through columns on demand, per the §6 walkthrough of Figure 11), and a
+// final SELECT box compensates the subsumee's own predicates and columns.
+func (m *Matcher) buildSelectGBComp(e, r *qgm.Box, a *assignment, gp *childPair, t *translator, eqR *qgm.Equiv, pool []*poolEntry) *Match {
+	pu := newPullup(m, r, gp, eqR)
+	if pu == nil {
+		return nil
+	}
+
+	// Re-apply unsatisfied child-compensation predicates at their own level;
+	// remember unsatisfied subsumee predicates for the top box.
+	var ePreds []qgm.Expr
+	for _, pe := range pool {
+		if pe.satisfied {
+			continue
+		}
+		if pe.fromE {
+			ePreds = append(ePreds, e.Preds[pe.origIdx])
+			continue
+		}
+		if !pu.addPredAt(pe.compBox, pe.compIdx) {
+			return nil
+		}
+	}
+
+	// Top compensation box: rejoins the subsumee's rejoin children, applies
+	// the remaining subsumee predicates, and derives the output columns.
+	top := m.newCompBox(qgm.SelectBox, compLabel("Sel"))
+	qTop := m.newQuant(qgm.ForEach, pu.topBox(), "")
+	rmapE, cloneQs := m.cloneRejoins(a.rejoins)
+	top.Quantifiers = append([]*qgm.Quantifier{qTop}, cloneQs...)
+
+	remap := func(expr qgm.Expr) (qgm.Expr, bool) {
+		ok := true
+		out := qgm.MapExprTopDown(expr, func(x qgm.Expr) (qgm.Expr, bool) {
+			c, isRef := x.(*qgm.ColRef)
+			if !isRef {
+				return nil, false
+			}
+			if q, cloned := rmapE[c.Q.ID]; cloned {
+				return &qgm.ColRef{Q: q, Col: c.Col}, true
+			}
+			p := a.byEQ[c.Q.ID]
+			if p == nil {
+				ok = false
+				return c, true
+			}
+			if p == gp {
+				idx, err := pu.ensureOrig(len(pu.src)-1, c.Col)
+				if err != nil {
+					ok = false
+					return c, true
+				}
+				return &qgm.ColRef{Q: qTop, Col: idx}, true
+			}
+			// Exactly matched (or projection-only) sibling child: translate
+			// to subsumer space and thread the value up through the stack.
+			rs := t.translateQNC(p, c.Col)
+			idx, err := pu.ensureRspace(len(pu.src)-1, rs)
+			if err != nil {
+				ok = false
+				return c, true
+			}
+			return &qgm.ColRef{Q: qTop, Col: idx}, true
+		})
+		return out, ok
+	}
+
+	for _, p := range ePreds {
+		dp, ok := remap(p)
+		if !ok {
+			return nil
+		}
+		top.Preds = append(top.Preds, dp)
+	}
+	for _, col := range e.Cols {
+		dp, ok := remap(col.Expr)
+		if !ok {
+			return nil
+		}
+		top.Cols = append(top.Cols, qgm.QCL{Name: col.Name, Expr: dp})
+	}
+	top.Distinct = e.Distinct
+
+	stack := append(pu.stack(), top)
+	mm := &Match{Subsumee: e, Subsumer: r, Stack: stack, SubQ: pu.qSub}
+	mm.indexComp()
+	return mm
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/qgm"
+)
+
+// pullup clones a child-compensation stack above the subsumer box (§4.2.4 and
+// the copy phase of §4.2.2). The bottom level re-derives its expressions from
+// the subsumer's outputs; every level above is cloned with its references
+// re-pointed to the clone below. Output columns are created on demand — the
+// paper's pull-up tactic ("the QCLs that appear in Sel-2C1 are created there
+// as a side effect of deriving the subsumee's expressions") — including
+// pass-through columns threading subsumer outputs (such as Figure 11's totcnt)
+// up through intermediate GROUP BY boxes.
+type pullup struct {
+	m   *Matcher
+	r   *qgm.Box
+	gp  *childPair
+	src []*qgm.Box // original child-compensation stack, bottom to top
+
+	clones  []*qgm.Box
+	cloneQ  []*qgm.Quantifier // cloneQ[i] consumes clones[i] (used by level i+1 and the caller's top box)
+	colMap  []map[int]int     // per level: original column → clone column
+	rsCache []map[string]int  // per level: subsumer-space expression → clone column
+	rejoins []map[int]*qgm.Quantifier
+
+	qSub   *qgm.Quantifier
+	d0     *deriver
+	failed bool
+}
+
+// newPullup clones the stack skeleton (boxes, quantifiers, grouping
+// structure). It returns nil when a grouping column cannot be derived.
+func newPullup(m *Matcher, r *qgm.Box, gp *childPair, eqR *qgm.Equiv) *pullup {
+	src := gp.m.Stack
+	if len(src) == 0 || src[0].Kind != qgm.SelectBox {
+		return nil
+	}
+	pu := &pullup{
+		m: m, r: r, gp: gp, src: src,
+		clones:  make([]*qgm.Box, len(src)),
+		cloneQ:  make([]*qgm.Quantifier, len(src)),
+		colMap:  make([]map[int]int, len(src)),
+		rsCache: make([]map[string]int, len(src)),
+		rejoins: make([]map[int]*qgm.Quantifier, len(src)),
+	}
+	for i := range src {
+		pu.colMap[i] = map[int]int{}
+		pu.rsCache[i] = map[string]int{}
+	}
+
+	// Level 0: a SELECT over the subsumer, with the original bottom level's
+	// rejoin children cloned.
+	c0 := m.newCompBox(qgm.SelectBox, compLabel("Sel"))
+	pu.qSub = m.newQuant(qgm.ForEach, r, "")
+	var rejoinQs []*qgm.Quantifier
+	for _, q := range src[0].Quantifiers {
+		if q != gp.m.SubQ {
+			rejoinQs = append(rejoinQs, q)
+		}
+	}
+	rmap0, clones0 := m.cloneRejoins(rejoinQs)
+	c0.Quantifiers = append([]*qgm.Quantifier{pu.qSub}, clones0...)
+	pu.rejoins[0] = rmap0
+	pu.clones[0] = c0
+	pu.cloneQ[0] = m.newQuant(qgm.ForEach, c0, "")
+	pu.d0 = &deriver{
+		eq:        eqR,
+		sources:   subsumerSources(r, pu.qSub, nil),
+		rejoinMap: rmap0,
+		leafFirst: m.opts.LeafFirstDerivation,
+	}
+
+	for i := 1; i < len(src); i++ {
+		b := src[i]
+		switch b.Kind {
+		case qgm.SelectBox:
+			ci := m.newCompBox(qgm.SelectBox, compLabel("Sel"))
+			var rq []*qgm.Quantifier
+			for _, q := range b.Quantifiers {
+				if q.Box != src[i-1] {
+					rq = append(rq, q)
+				}
+			}
+			rmap, cloned := m.cloneRejoins(rq)
+			ci.Quantifiers = append([]*qgm.Quantifier{pu.cloneQ[i-1]}, cloned...)
+			ci.Distinct = b.Distinct
+			pu.rejoins[i] = rmap
+			pu.clones[i] = ci
+		case qgm.GroupByBox:
+			ci := m.newCompBox(qgm.GroupByBox, compLabel("GB"))
+			ci.Quantifiers = []*qgm.Quantifier{pu.cloneQ[i-1]}
+			pu.rejoins[i] = map[int]*qgm.Quantifier{}
+			pu.clones[i] = ci
+			// Grouping columns are cloned eagerly: they define the groups.
+			for _, g := range b.GroupBy {
+				cr, ok := b.Cols[g].Expr.(*qgm.ColRef)
+				if !ok || cr.Q.Box != src[i-1] {
+					return nil
+				}
+				below, err := pu.ensureOrig(i-1, cr.Col)
+				if err != nil {
+					return nil
+				}
+				idx := len(ci.Cols)
+				ci.Cols = append(ci.Cols, qgm.QCL{
+					Name: b.Cols[g].Name,
+					Expr: &qgm.ColRef{Q: pu.cloneQ[i-1], Col: below},
+				})
+				ci.GroupBy = append(ci.GroupBy, idx)
+				pu.colMap[i][g] = idx
+			}
+			for _, gs := range b.GroupingSets {
+				ci.GroupingSets = append(ci.GroupingSets, append([]int(nil), gs...))
+			}
+		default:
+			return nil
+		}
+		pu.cloneQ[i] = m.newQuant(qgm.ForEach, pu.clones[i], "")
+	}
+	return pu
+}
+
+// topBox returns the top clone.
+func (pu *pullup) topBox() *qgm.Box { return pu.clones[len(pu.clones)-1] }
+
+// stack returns the clone chain bottom to top.
+func (pu *pullup) stack() []*qgm.Box { return pu.clones }
+
+// addPredAt re-applies one original stack predicate at its own level,
+// deriving the bottom level from the subsumer (§4.2.3 condition 5 / §4.2.4
+// pull-up conditions).
+func (pu *pullup) addPredAt(origBox *qgm.Box, predIdx int) bool {
+	level := -1
+	for i, b := range pu.src {
+		if b == origBox {
+			level = i
+			break
+		}
+	}
+	if level < 0 {
+		return false
+	}
+	p := origBox.Preds[predIdx]
+	if level == 0 {
+		rs := expandCompExpr(pu.gp.m, pu.gp.rq, p)
+		dv, err := pu.d0.derive(rs)
+		if err != nil {
+			return false
+		}
+		pu.clones[0].Preds = append(pu.clones[0].Preds, dv)
+		return true
+	}
+	dv, err := pu.remapLevel(p, level)
+	if err != nil {
+		return false
+	}
+	pu.clones[level].Preds = append(pu.clones[level].Preds, dv)
+	return true
+}
+
+// ensureOrig makes original column j of stack level i available in the clone
+// and returns its clone ordinal.
+func (pu *pullup) ensureOrig(i, j int) (int, error) {
+	if idx, ok := pu.colMap[i][j]; ok {
+		return idx, nil
+	}
+	b := pu.src[i]
+	if j >= len(b.Cols) {
+		return 0, fmt.Errorf("core: column %d out of range in %s", j, fmtBox(b))
+	}
+	var idx int
+	switch {
+	case i == 0:
+		rs := expandCompExpr(pu.gp.m, pu.gp.rq, b.Cols[j].Expr)
+		dv, err := pu.d0.derive(rs)
+		if err != nil {
+			return 0, err
+		}
+		idx = addQCL(pu.clones[0], b.Cols[j].Name, dv)
+	case b.Kind == qgm.SelectBox:
+		dv, err := pu.remapLevel(b.Cols[j].Expr, i)
+		if err != nil {
+			return 0, err
+		}
+		idx = addQCL(pu.clones[i], b.Cols[j].Name, dv)
+	case b.Kind == qgm.GroupByBox:
+		// Grouping columns were pre-mapped; this must be an aggregate.
+		agg, ok := b.Cols[j].Expr.(*qgm.Agg)
+		if !ok {
+			return 0, fmt.Errorf("core: unexpected non-aggregate column %q in %s", b.Cols[j].Name, fmtBox(b))
+		}
+		var arg qgm.Expr
+		if !agg.Star {
+			var err error
+			arg, err = pu.remapLevel(agg.Arg, i)
+			if err != nil {
+				return 0, err
+			}
+		}
+		idx = len(pu.clones[i].Cols)
+		pu.clones[i].Cols = append(pu.clones[i].Cols, qgm.QCL{
+			Name: b.Cols[j].Name,
+			Expr: &qgm.Agg{Op: agg.Op, Arg: arg, Star: agg.Star, Distinct: agg.Distinct},
+		})
+	default:
+		return 0, fmt.Errorf("core: unsupported stack box kind in %s", fmtBox(b))
+	}
+	pu.colMap[i][j] = idx
+	return idx, nil
+}
+
+// remapLevel rewrites an expression of original stack level i (references to
+// level i-1 and level-local rejoins) into the clone's space.
+func (pu *pullup) remapLevel(e qgm.Expr, i int) (qgm.Expr, error) {
+	var fail error
+	out := qgm.MapExprTopDown(e, func(x qgm.Expr) (qgm.Expr, bool) {
+		c, ok := x.(*qgm.ColRef)
+		if !ok {
+			return nil, false
+		}
+		if q, cloned := pu.rejoins[i][c.Q.ID]; cloned {
+			return &qgm.ColRef{Q: q, Col: c.Col}, true
+		}
+		if c.Q.Box == pu.src[i-1] {
+			below, err := pu.ensureOrig(i-1, c.Col)
+			if err != nil {
+				fail = err
+				return c, true
+			}
+			return &qgm.ColRef{Q: pu.cloneQ[i-1], Col: below}, true
+		}
+		fail = fmt.Errorf("core: unresolvable reference %s at stack level %d", c.String(), i)
+		return c, true
+	})
+	if fail != nil {
+		return nil, fail
+	}
+	return out, nil
+}
+
+// ensureRspace threads a subsumer-space expression up to stack level i,
+// deriving it from the subsumer at the bottom and creating pass-through
+// columns in between. Through GROUP BY levels the value must either already
+// be a grouping column or be constant per group (it derives from scalar
+// subquery columns only, like Figure 11's totcnt) — in the latter case it is
+// added as an extra grouping column, which the paper's NewQ10 does with
+// "group by flid, totcnt".
+func (pu *pullup) ensureRspace(i int, t qgm.Expr) (int, error) {
+	key := t.String()
+	if idx, ok := pu.rsCache[i][key]; ok {
+		return idx, nil
+	}
+	var idx int
+	if i == 0 {
+		dv, err := pu.d0.derive(t)
+		if err != nil {
+			return 0, err
+		}
+		idx = addQCL(pu.clones[0], "", dv)
+	} else {
+		below, err := pu.ensureRspace(i-1, t)
+		if err != nil {
+			return 0, err
+		}
+		ref := &qgm.ColRef{Q: pu.cloneQ[i-1], Col: below}
+		ci := pu.clones[i]
+		switch ci.Kind {
+		case qgm.SelectBox:
+			idx = addQCL(ci, "", ref)
+		case qgm.GroupByBox:
+			// Reuse an existing grouping column when it already carries the
+			// value.
+			found := -1
+			for _, g := range ci.GroupBy {
+				if qgm.ExprEqual(ci.Cols[g].Expr, ref, nil) {
+					found = g
+					break
+				}
+			}
+			if found >= 0 {
+				idx = found
+				break
+			}
+			if !isConstRspace(t) {
+				return 0, fmt.Errorf("core: cannot thread non-constant %s through GROUP BY compensation", t.String())
+			}
+			idx = len(ci.Cols)
+			ci.Cols = append(ci.Cols, qgm.QCL{Name: uniqueColName(ci, "c"), Expr: ref})
+			pos := len(ci.GroupBy)
+			ci.GroupBy = append(ci.GroupBy, idx)
+			// The new column joins every grouping set: being constant, it
+			// never changes the groups and is never NULL-padded.
+			for k := range ci.GroupingSets {
+				ci.GroupingSets[k] = append(ci.GroupingSets[k], pos)
+			}
+		default:
+			return 0, fmt.Errorf("core: unsupported stack box kind")
+		}
+	}
+	pu.rsCache[i][key] = idx
+	return idx, nil
+}
+
+// isConstRspace reports whether a subsumer-space expression is constant per
+// evaluation: every column reference goes through a Scalar (scalar-subquery)
+// quantifier.
+func isConstRspace(t qgm.Expr) bool {
+	ok := true
+	qgm.WalkExpr(t, func(x qgm.Expr) bool {
+		if c, isRef := x.(*qgm.ColRef); isRef {
+			if c.Q == nil || c.Q.Kind != qgm.Scalar {
+				ok = false
+				return false
+			}
+		}
+		if _, isAgg := x.(*qgm.Agg); isAgg {
+			ok = false
+			return false
+		}
+		return ok
+	})
+	return ok
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/parser"
+	"repro/internal/qgm"
+)
+
+// CompiledAST is a registered Automatic Summary Table ready for matching: its
+// definition, its QGM graph, and the schema of its materialized table.
+type CompiledAST struct {
+	Def   catalog.ASTDef
+	Graph *qgm.Graph
+	Table *catalog.Table
+}
+
+// Rewriter rewrites queries to read ASTs instead of base tables. It holds no
+// per-query state; one Rewriter serves many rewrites.
+type Rewriter struct {
+	cat  *catalog.Catalog
+	opts Options
+}
+
+// NewRewriter returns a rewriter over the catalog with the given options.
+func NewRewriter(cat *catalog.Catalog, opts Options) *Rewriter {
+	return &Rewriter{cat: cat, opts: opts}
+}
+
+// Catalog returns the rewriter's catalog.
+func (rw *Rewriter) Catalog() *catalog.Catalog { return rw.cat }
+
+// CompileAST parses and compiles an AST definition. The returned Table
+// describes the materialized result (callers register it in the catalog and
+// populate it in storage before executing rewritten queries).
+func (rw *Rewriter) CompileAST(def catalog.ASTDef) (*CompiledAST, error) {
+	stmt, err := parser.Parse(def.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("core: AST %q: %w", def.Name, err)
+	}
+	g, err := qgm.Build(stmt, rw.cat)
+	if err != nil {
+		return nil, fmt.Errorf("core: AST %q: %w", def.Name, err)
+	}
+	return &CompiledAST{Def: def, Graph: g, Table: g.Root.OutputTable(def.Name)}, nil
+}
+
+// CompileAll compiles every AST registered in the catalog.
+func (rw *Rewriter) CompileAll() ([]*CompiledAST, error) {
+	var out []*CompiledAST
+	for _, def := range rw.cat.ASTs() {
+		ca, err := rw.CompileAST(def)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ca)
+	}
+	return out, nil
+}
+
+// Result describes one successful rewrite.
+type Result struct {
+	AST      *CompiledAST
+	Match    *Match
+	Replaced *qgm.Box // the query box that was replaced
+}
+
+// Rewrite attempts to rewrite the query graph to read the given AST. On
+// success it splices the AST's materialized table plus the compensation into
+// the graph (mutating it) and returns a Result; it returns nil when no match
+// exists. When several query boxes match the AST's root, the highest
+// (largest-subtree) one is replaced, maximizing the work the AST absorbs.
+func (rw *Rewriter) Rewrite(query *qgm.Graph, ast *CompiledAST) *Result {
+	matcher := NewMatcher(rw.cat, query, ast.Graph, rw.opts)
+	matches := matcher.Run()
+	if len(matches) == 0 {
+		return nil
+	}
+
+	heights := boxHeights(query)
+	var best *Match
+	for _, mm := range matches {
+		if best == nil || heights[mm.Subsumee.ID] > heights[best.Subsumee.ID] {
+			best = mm
+		}
+	}
+
+	rw.splice(query, ast, best)
+	return &Result{AST: ast, Match: best, Replaced: best.Subsumee}
+}
+
+// RewriteBest tries every compiled AST and applies the one matching the
+// highest query box; it returns nil when none match. (The paper routes a
+// query towards multiple ASTs by iterating; RewriteBest is one iteration.)
+func (rw *Rewriter) RewriteBest(query *qgm.Graph, asts []*CompiledAST) *Result {
+	type cand struct {
+		ast *CompiledAST
+		mm  *Match
+	}
+	heights := boxHeights(query)
+	var best *cand
+	for _, ast := range asts {
+		matcher := NewMatcher(rw.cat, query, ast.Graph, rw.opts)
+		for _, mm := range matcher.Run() {
+			if best == nil || heights[mm.Subsumee.ID] > heights[best.mm.Subsumee.ID] {
+				best = &cand{ast: ast, mm: mm}
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	rw.splice(query, best.ast, best.mm)
+	return &Result{AST: best.ast, Match: best.mm, Replaced: best.mm.Subsumee}
+}
+
+// Explain runs the matcher with tracing enabled (without rewriting) and
+// returns the per-candidate-pair decision log: which box pairs matched, which
+// failed, and which of the paper's conditions rejected them.
+func (rw *Rewriter) Explain(query *qgm.Graph, ast *CompiledAST) []TraceEntry {
+	opts := rw.opts
+	opts.Trace = true
+	matcher := NewMatcher(rw.cat, query, ast.Graph, opts)
+	matcher.Run()
+	return matcher.Trace()
+}
+
+// Sizer estimates table cardinalities for cost-based AST applicability —
+// problem (b) of the paper's introduction ("deciding whether an AST should
+// actually be used in answering a query", citing Chaudhuri et al.).
+// *storage.Store implements it.
+type Sizer interface {
+	TableRows(name string) int
+}
+
+// RewriteBestCost chooses among all (AST, matched box) candidates by a simple
+// scan-cost model — rows read from the AST's materialized table plus its
+// rejoined base tables, versus the base-table rows the replaced subtree would
+// read — and applies the cheapest candidate only if it actually beats the
+// base plan. It returns nil when no candidate matches or none is estimated
+// cheaper.
+func (rw *Rewriter) RewriteBestCost(query *qgm.Graph, asts []*CompiledAST, sizer Sizer) *Result {
+	type cand struct {
+		ast  *CompiledAST
+		mm   *Match
+		gain int
+	}
+	var best *cand
+	for _, ast := range asts {
+		matcher := NewMatcher(rw.cat, query, ast.Graph, rw.opts)
+		for _, mm := range matcher.Run() {
+			gain := rw.costGain(mm, ast, sizer)
+			if gain <= 0 {
+				continue
+			}
+			if best == nil || gain > best.gain {
+				best = &cand{ast: ast, mm: mm, gain: gain}
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	rw.splice(query, best.ast, best.mm)
+	return &Result{AST: best.ast, Match: best.mm, Replaced: best.mm.Subsumee}
+}
+
+// costGain estimates base-plan cost minus rewritten cost for one match, in
+// rows scanned. Each base-table quantifier under the replaced subtree counts
+// once (a scan per join operand); the rewritten side scans the materialized
+// AST plus any rejoined base tables in the compensation.
+func (rw *Rewriter) costGain(mm *Match, ast *CompiledAST, sizer Sizer) int {
+	baseCost := 0
+	seen := map[int]bool{}
+	var walk func(b *qgm.Box)
+	walk = func(b *qgm.Box) {
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		for _, q := range b.Quantifiers {
+			if q.Box.Kind == qgm.BaseTableBox {
+				baseCost += sizer.TableRows(q.Box.Table.Name)
+			} else {
+				walk(q.Box)
+			}
+		}
+	}
+	walk(mm.Subsumee)
+
+	newCost := sizer.TableRows(ast.Def.Name)
+	for _, b := range mm.Stack {
+		for _, q := range b.Quantifiers {
+			if q != mm.SubQ && q.Box.Kind == qgm.BaseTableBox {
+				newCost += sizer.TableRows(q.Box.Table.Name)
+			}
+		}
+	}
+	return baseCost - newCost
+}
+
+// RewriteAll routes the query towards multiple ASTs by the paper's iterative
+// process (§7): at each iteration the result of the previous rewrite is
+// matched against the remaining ASTs, until no AST matches. It returns the
+// applied rewrites in order.
+func (rw *Rewriter) RewriteAll(query *qgm.Graph, asts []*CompiledAST) []*Result {
+	var out []*Result
+	remaining := append([]*CompiledAST(nil), asts...)
+	// Each successful iteration consumes base-table regions; bound the loop
+	// defensively anyway.
+	for iter := 0; iter <= len(asts); iter++ {
+		res := rw.RewriteBest(query, remaining)
+		if res == nil {
+			return out
+		}
+		out = append(out, res)
+		// An AST applied once is unlikely to apply again (its region now
+		// reads the materialized table); drop it to guarantee progress.
+		next := remaining[:0]
+		for _, a := range remaining {
+			if a != res.AST {
+				next = append(next, a)
+			}
+		}
+		remaining = next
+	}
+	return out
+}
+
+// splice replaces the matched subsumee box with the compensation over the
+// AST's materialized table.
+func (rw *Rewriter) splice(query *qgm.Graph, ast *CompiledAST, mm *Match) {
+	astBase := query.BaseTableBox(ast.Table)
+
+	var top *qgm.Box
+	if mm.Exact {
+		// Pure projection of the materialized table.
+		proj := query.NewBox(qgm.SelectBox, compLabel("Sel"))
+		q := query.NewQuantifier(qgm.ForEach, astBase, "")
+		proj.Quantifiers = []*qgm.Quantifier{q}
+		for i, col := range mm.Subsumee.Cols {
+			proj.Cols = append(proj.Cols, qgm.QCL{
+				Name: col.Name,
+				Expr: &qgm.ColRef{Q: q, Col: mm.ColMap[i]},
+			})
+		}
+		top = proj
+	} else {
+		// Re-point the compensation's subsumer quantifier at the
+		// materialized table (its columns align with the AST root's output
+		// columns by construction).
+		mm.SubQ.Box = astBase
+		top = mm.Comp()
+	}
+
+	if query.Root == mm.Subsumee {
+		query.Root = top
+		return
+	}
+	for _, b := range query.Boxes() {
+		for _, q := range b.Quantifiers {
+			if q.Box == mm.Subsumee {
+				q.Box = top
+			}
+		}
+	}
+}
+
+// boxHeights computes each box's height (longest path to a leaf), used to
+// prefer replacing the largest matched subtree.
+func boxHeights(g *qgm.Graph) map[int]int {
+	h := map[int]int{}
+	for _, b := range g.Boxes() { // bottom-up order
+		best := 0
+		for _, q := range b.Quantifiers {
+			if hh := h[q.Box.ID] + 1; hh > best {
+				best = hh
+			}
+		}
+		h[b.ID] = best
+	}
+	return h
+}

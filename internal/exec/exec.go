@@ -1,0 +1,532 @@
+// Package exec interprets QGM graphs over an in-memory storage.Store. It
+// exists to (a) verify that every rewrite the matching algorithm produces is
+// result-identical to the original query, and (b) measure the latency
+// improvements that motivate Automatic Summary Tables.
+//
+// The interpreter evaluates boxes bottom-up with per-box memoization (QGM is
+// a DAG — a shared base table evaluates once). SELECT boxes join their
+// ForEach children — using hash joins when equality predicates connect the
+// next child to the already-joined prefix, falling back to nested loops —
+// then apply residual predicates under SQL three-valued logic and compute the
+// output expressions. GROUP BY boxes evaluate each grouping set of their
+// canonicalized supergroup (paper §5: a cube query is the union of its
+// cuboids, NULL-padding the grouped-out columns).
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// Result is the output of running a graph.
+type Result struct {
+	Cols []string
+	Rows [][]sqltypes.Value
+}
+
+// Engine runs QGM graphs against a store.
+type Engine struct {
+	store *storage.Store
+}
+
+// NewEngine returns an engine over the store.
+func NewEngine(store *storage.Store) *Engine {
+	return &Engine{store: store}
+}
+
+// Run evaluates the graph and returns its result.
+func (e *Engine) Run(g *qgm.Graph) (*Result, error) {
+	ev := &evaluator{store: e.store, memo: map[int][][]sqltypes.Value{}}
+	rows, err := ev.evalBox(g.Root)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(g.Root.Cols))
+	for i, c := range g.Root.Cols {
+		cols[i] = c.Name
+	}
+	return &Result{Cols: cols, Rows: rows}, nil
+}
+
+// MustRun is Run that panics on error; for tests.
+func (e *Engine) MustRun(g *qgm.Graph) *Result {
+	r, err := e.Run(g)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type evaluator struct {
+	store *storage.Store
+	memo  map[int][][]sqltypes.Value
+}
+
+func (ev *evaluator) evalBox(b *qgm.Box) ([][]sqltypes.Value, error) {
+	if rows, ok := ev.memo[b.ID]; ok {
+		return rows, nil
+	}
+	var rows [][]sqltypes.Value
+	var err error
+	switch b.Kind {
+	case qgm.BaseTableBox:
+		td, ok := ev.store.Table(b.Table.Name)
+		if !ok {
+			return nil, fmt.Errorf("exec: table %q not loaded", b.Table.Name)
+		}
+		rows = td.Rows
+	case qgm.SelectBox:
+		rows, err = ev.evalSelect(b)
+	case qgm.GroupByBox:
+		rows, err = ev.evalGroupBy(b)
+	default:
+		err = fmt.Errorf("exec: unsupported box kind %v", b.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ev.memo[b.ID] = rows
+	return rows, nil
+}
+
+// binding carries the current row of each in-scope quantifier.
+type binding struct {
+	qids []int
+	rows [][]sqltypes.Value
+}
+
+func (bd *binding) row(qid int) []sqltypes.Value {
+	for i, id := range bd.qids {
+		if id == qid {
+			return bd.rows[i]
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
+	var forEach []*qgm.Quantifier
+	scalars := map[int]sqltypes.Value{}
+	for _, q := range b.Quantifiers {
+		switch q.Kind {
+		case qgm.ForEach:
+			forEach = append(forEach, q)
+		case qgm.Scalar:
+			rows, err := ev.evalBox(q.Box)
+			if err != nil {
+				return nil, err
+			}
+			switch len(rows) {
+			case 0:
+				scalars[q.ID] = sqltypes.Null
+			case 1:
+				scalars[q.ID] = rows[0][0]
+			default:
+				return nil, fmt.Errorf("exec: scalar subquery returned %d rows", len(rows))
+			}
+		}
+	}
+
+	ectx := &exprCtx{scalars: scalars, eval: ev}
+
+	preds := b.Preds
+	usedPred := make([]bool, len(preds))
+
+	// Join children left to right; before each step, pick an unjoined child
+	// connected to the current prefix by an equality predicate so it can be
+	// hash-joined.
+	var bindings []*binding
+	joined := map[int]bool{}
+	if len(forEach) == 0 {
+		bindings = []*binding{{}}
+	}
+
+	remaining := append([]*qgm.Quantifier(nil), forEach...)
+	for len(remaining) > 0 {
+		// Choose next child: if nothing joined yet take the first; otherwise
+		// prefer one with an available equality predicate to the prefix.
+		nextIdx := 0
+		var hashPreds []int
+		if len(joined) > 0 {
+			for ci, cand := range remaining {
+				hp := ev.hashablePreds(preds, usedPred, joined, cand.ID, scalars)
+				if len(hp) > 0 {
+					nextIdx = ci
+					hashPreds = hp
+					break
+				}
+			}
+		}
+		next := remaining[nextIdx]
+		remaining = append(remaining[:nextIdx], remaining[nextIdx+1:]...)
+
+		childRows, err := ev.evalBox(next.Box)
+		if err != nil {
+			return nil, err
+		}
+
+		if len(joined) == 0 {
+			bindings = make([]*binding, len(childRows))
+			for i, r := range childRows {
+				bindings[i] = &binding{qids: []int{next.ID}, rows: [][]sqltypes.Value{r}}
+			}
+		} else if len(hashPreds) > 0 {
+			bindings, err = ev.hashJoin(bindings, next, childRows, preds, hashPreds, ectx)
+			if err != nil {
+				return nil, err
+			}
+			for _, pi := range hashPreds {
+				usedPred[pi] = true
+			}
+		} else {
+			// Nested-loop cross join.
+			out := make([]*binding, 0, len(bindings)*max(1, len(childRows)))
+			for _, bd := range bindings {
+				for _, r := range childRows {
+					nb := &binding{
+						qids: append(append([]int(nil), bd.qids...), next.ID),
+						rows: append(append([][]sqltypes.Value(nil), bd.rows...), r),
+					}
+					out = append(out, nb)
+				}
+			}
+			bindings = out
+		}
+		joined[next.ID] = true
+
+		// Apply any now-evaluable unused predicates to prune early.
+		bindings, err = ev.filter(bindings, preds, usedPred, joined, ectx, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Apply all remaining predicates (including those with no quantifier refs).
+	var err error
+	bindings, err = ev.filter(bindings, preds, usedPred, joined, ectx, true)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]sqltypes.Value, 0, len(bindings))
+	for _, bd := range bindings {
+		row := make([]sqltypes.Value, len(b.Cols))
+		for i, c := range b.Cols {
+			v, err := ectx.evalScalar(c.Expr, bd)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+
+	if b.Distinct {
+		out = dedupeRows(out)
+	}
+	return out, nil
+}
+
+// hashablePreds returns indices of unused equality predicates that connect
+// candidate quantifier cand to the joined prefix: one side references only
+// cand, the other only joined quantifiers (or scalars/constants).
+func (ev *evaluator) hashablePreds(preds []qgm.Expr, used []bool, joined map[int]bool, cand int, scalars map[int]sqltypes.Value) []int {
+	var out []int
+	for i, p := range preds {
+		if used[i] {
+			continue
+		}
+		bin, ok := p.(*qgm.Bin)
+		if !ok || bin.Op != "=" {
+			continue
+		}
+		lq := sideQuants(bin.L, scalars)
+		rq := sideQuants(bin.R, scalars)
+		if lq == nil || rq == nil {
+			continue
+		}
+		onlyCand := func(qs map[int]bool) bool {
+			return len(qs) == 1 && qs[cand]
+		}
+		allJoined := func(qs map[int]bool) bool {
+			for q := range qs {
+				if !joined[q] {
+					return false
+				}
+			}
+			return len(qs) > 0
+		}
+		if (onlyCand(lq) && allJoined(rq)) || (onlyCand(rq) && allJoined(lq)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sideQuants collects the ForEach quantifier IDs referenced by e; scalar
+// quantifiers are treated as constants. Returns nil if e contains an
+// aggregate (not evaluable here).
+func sideQuants(e qgm.Expr, scalars map[int]sqltypes.Value) map[int]bool {
+	qs := map[int]bool{}
+	bad := false
+	qgm.WalkExpr(e, func(x qgm.Expr) bool {
+		switch t := x.(type) {
+		case *qgm.ColRef:
+			if t.Q == nil {
+				bad = true
+				return false
+			}
+			if _, isScalar := scalars[t.Q.ID]; !isScalar {
+				qs[t.Q.ID] = true
+			}
+		case *qgm.Agg:
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad {
+		return nil
+	}
+	return qs
+}
+
+func (ev *evaluator) hashJoin(bindings []*binding, next *qgm.Quantifier, childRows [][]sqltypes.Value, preds []qgm.Expr, hashPreds []int, ectx *exprCtx) ([]*binding, error) {
+	// Split each hash predicate into (prefix expr, child expr).
+	type keyPair struct{ prefix, child qgm.Expr }
+	pairs := make([]keyPair, 0, len(hashPreds))
+	for _, pi := range hashPreds {
+		bin := preds[pi].(*qgm.Bin)
+		lq := sideQuants(bin.L, ectx.scalars)
+		if len(lq) == 1 && lq[next.ID] {
+			pairs = append(pairs, keyPair{prefix: bin.R, child: bin.L})
+		} else {
+			pairs = append(pairs, keyPair{prefix: bin.L, child: bin.R})
+		}
+	}
+
+	// Build hash table on child rows.
+	table := make(map[string][][]sqltypes.Value, len(childRows))
+	childBd := &binding{qids: []int{next.ID}, rows: [][]sqltypes.Value{nil}}
+	for _, r := range childRows {
+		childBd.rows[0] = r
+		var sb strings.Builder
+		null := false
+		for _, kp := range pairs {
+			v, err := ectx.evalScalar(kp.child, childBd)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte(0)
+		}
+		if null {
+			continue // NULL join keys never match
+		}
+		k := sb.String()
+		table[k] = append(table[k], r)
+	}
+
+	out := make([]*binding, 0, len(bindings))
+	for _, bd := range bindings {
+		var sb strings.Builder
+		null := false
+		for _, kp := range pairs {
+			v, err := ectx.evalScalar(kp.prefix, bd)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte(0)
+		}
+		if null {
+			continue
+		}
+		for _, r := range table[sb.String()] {
+			nb := &binding{
+				qids: append(append([]int(nil), bd.qids...), next.ID),
+				rows: append(append([][]sqltypes.Value(nil), bd.rows...), r),
+			}
+			out = append(out, nb)
+		}
+	}
+	return out, nil
+}
+
+// filter applies predicates whose quantifiers are all joined. With final set,
+// all unused predicates must be evaluable and are applied.
+func (ev *evaluator) filter(bindings []*binding, preds []qgm.Expr, used []bool, joined map[int]bool, ectx *exprCtx, final bool) ([]*binding, error) {
+	var apply []int
+	for i, p := range preds {
+		if used[i] {
+			continue
+		}
+		qs := sideQuants(p, ectx.scalars)
+		evaluable := qs != nil
+		if evaluable {
+			for q := range qs {
+				if !joined[q] {
+					evaluable = false
+					break
+				}
+			}
+		}
+		if evaluable {
+			apply = append(apply, i)
+		} else if final {
+			return nil, fmt.Errorf("exec: predicate %s not evaluable", p.String())
+		}
+	}
+	if len(apply) == 0 {
+		return bindings, nil
+	}
+	out := bindings[:0]
+	for _, bd := range bindings {
+		keep := true
+		for _, pi := range apply {
+			t, err := ectx.evalPred(preds[pi], bd)
+			if err != nil {
+				return nil, err
+			}
+			if t != sqltypes.True {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, bd)
+		}
+	}
+	for _, pi := range apply {
+		used[pi] = true
+	}
+	return out, nil
+}
+
+func dedupeRows(rows [][]sqltypes.Value) [][]sqltypes.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		var sb strings.Builder
+		for _, v := range r {
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SortRows orders rows lexicographically (NULL first) for deterministic
+// output; used by result comparison and experiment printing.
+func SortRows(rows [][]sqltypes.Value) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			an, bn := a[k].IsNull(), b[k].IsNull()
+			if an != bn {
+				return an
+			}
+			if an {
+				continue
+			}
+			c, err := sqltypes.Compare(a[k], b[k])
+			if err != nil {
+				ak, bk := a[k].GroupKey(), b[k].GroupKey()
+				if ak != bk {
+					return ak < bk
+				}
+				continue
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// EqualResults compares two results as multisets of rows (column order must
+// agree; row order is ignored). Floats compare with a small relative
+// tolerance: re-aggregation legitimately reorders floating-point summation.
+// It returns a description of the first difference, or "" when equal.
+func EqualResults(a, b *Result) string {
+	if len(a.Cols) != len(b.Cols) {
+		return fmt.Sprintf("column count differs: %d vs %d", len(a.Cols), len(b.Cols))
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Sprintf("row count differs: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	ra := append([][]sqltypes.Value(nil), a.Rows...)
+	rb := append([][]sqltypes.Value(nil), b.Rows...)
+	SortRows(ra)
+	SortRows(rb)
+	for i := range ra {
+		if len(ra[i]) != len(rb[i]) {
+			return fmt.Sprintf("row %d: arity differs", i)
+		}
+		for j := range ra[i] {
+			if !valuesClose(ra[i][j], rb[i][j]) {
+				return fmt.Sprintf("row %d col %d: %v vs %v", i, j, ra[i], rb[i])
+			}
+		}
+	}
+	return ""
+}
+
+// valuesClose is value equality with relative float tolerance.
+func valuesClose(x, y sqltypes.Value) bool {
+	if x.IsNull() || y.IsNull() {
+		return x.IsNull() && y.IsNull()
+	}
+	if x.Kind() == sqltypes.KindFloat || y.Kind() == sqltypes.KindFloat {
+		if !x.IsNumeric() || !y.IsNumeric() {
+			return false
+		}
+		fx, fy := x.Float(), y.Float()
+		diff := fx - fy
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if ax := abs(fx); ax > scale {
+			scale = ax
+		}
+		if ay := abs(fy); ay > scale {
+			scale = ay
+		}
+		return diff <= 1e-9*scale
+	}
+	return sqltypes.Identical(x, y)
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,249 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+)
+
+// exprCtx evaluates scalar expressions and predicates against a binding.
+// Scalar-subquery quantifiers have been pre-evaluated into scalars.
+type exprCtx struct {
+	scalars map[int]sqltypes.Value
+	eval    *evaluator
+}
+
+func (c *exprCtx) evalScalar(e qgm.Expr, bd *binding) (sqltypes.Value, error) {
+	switch t := e.(type) {
+	case *qgm.ColRef:
+		if t.Q == nil {
+			return sqltypes.Null, fmt.Errorf("exec: unbound column reference")
+		}
+		if v, ok := c.scalars[t.Q.ID]; ok {
+			return v, nil
+		}
+		row := bd.row(t.Q.ID)
+		if row == nil {
+			return sqltypes.Null, fmt.Errorf("exec: quantifier q%d not in scope", t.Q.ID)
+		}
+		if t.Col >= len(row) {
+			return sqltypes.Null, fmt.Errorf("exec: column %d out of range (row width %d)", t.Col, len(row))
+		}
+		return row[t.Col], nil
+
+	case *qgm.Const:
+		return t.Val, nil
+
+	case *qgm.Call:
+		arg, err := c.evalScalar(t.Args[0], bd)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if arg.IsNull() {
+			return sqltypes.Null, nil
+		}
+		switch t.Name {
+		case "year":
+			return sqltypes.NewInt(arg.DateYear()), nil
+		case "month":
+			return sqltypes.NewInt(arg.DateMonth()), nil
+		case "day":
+			return sqltypes.NewInt(arg.DateDay()), nil
+		default:
+			return sqltypes.Null, fmt.Errorf("exec: unknown function %q", t.Name)
+		}
+
+	case *qgm.Bin:
+		switch t.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=":
+			tv, err := c.evalPred(t, bd)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return tv.Value(), nil
+		}
+		l, err := c.evalScalar(t.L, bd)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		r, err := c.evalScalar(t.R, bd)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		switch t.Op {
+		case "||":
+			return sqltypes.Concat(l, r)
+		case "+":
+			return sqltypes.Add(l, r)
+		case "-":
+			return sqltypes.Sub(l, r)
+		case "*":
+			return sqltypes.Mul(l, r)
+		case "/":
+			return sqltypes.Div(l, r)
+		case "%":
+			return sqltypes.Mod(l, r)
+		default:
+			return sqltypes.Null, fmt.Errorf("exec: unknown operator %q", t.Op)
+		}
+
+	case *qgm.Not:
+		tv, err := c.evalPred(t, bd)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return tv.Value(), nil
+
+	case *qgm.IsNull:
+		tv, err := c.evalPred(t, bd)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return tv.Value(), nil
+
+	case *qgm.Like:
+		tv, err := c.evalPred(t, bd)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return tv.Value(), nil
+
+	case *qgm.Agg:
+		return sqltypes.Null, fmt.Errorf("exec: aggregate %s outside GROUP BY box", t.String())
+
+	case *qgm.Case:
+		for _, w := range t.Whens {
+			tv, err := c.evalPred(w.Cond, bd)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if tv == sqltypes.True {
+				return c.evalScalar(w.Then, bd)
+			}
+		}
+		if t.Else != nil {
+			return c.evalScalar(t.Else, bd)
+		}
+		return sqltypes.Null, nil
+
+	default:
+		return sqltypes.Null, fmt.Errorf("exec: unsupported expression %T", e)
+	}
+}
+
+func (c *exprCtx) evalPred(e qgm.Expr, bd *binding) (sqltypes.Tri, error) {
+	switch t := e.(type) {
+	case *qgm.Bin:
+		switch t.Op {
+		case "AND":
+			l, err := c.evalPred(t.L, bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			if l == sqltypes.False {
+				return sqltypes.False, nil
+			}
+			r, err := c.evalPred(t.R, bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			return l.And(r), nil
+		case "OR":
+			l, err := c.evalPred(t.L, bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			if l == sqltypes.True {
+				return sqltypes.True, nil
+			}
+			r, err := c.evalPred(t.R, bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			return l.Or(r), nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, err := c.evalScalar(t.L, bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			r, err := c.evalScalar(t.R, bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			if l.IsNull() || r.IsNull() {
+				return sqltypes.Unknown, nil
+			}
+			cv, err := sqltypes.Compare(l, r)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			switch t.Op {
+			case "=":
+				return sqltypes.TriOf(cv == 0), nil
+			case "<>":
+				return sqltypes.TriOf(cv != 0), nil
+			case "<":
+				return sqltypes.TriOf(cv < 0), nil
+			case "<=":
+				return sqltypes.TriOf(cv <= 0), nil
+			case ">":
+				return sqltypes.TriOf(cv > 0), nil
+			case ">=":
+				return sqltypes.TriOf(cv >= 0), nil
+			}
+		}
+		// Arithmetic in predicate position: evaluate and interpret.
+		v, err := c.evalScalar(t, bd)
+		if err != nil {
+			return sqltypes.Unknown, err
+		}
+		return sqltypes.TriFromValue(v), nil
+
+	case *qgm.Not:
+		inner, err := c.evalPred(t.E, bd)
+		if err != nil {
+			return sqltypes.Unknown, err
+		}
+		return inner.Not(), nil
+
+	case *qgm.IsNull:
+		v, err := c.evalScalar(t.E, bd)
+		if err != nil {
+			return sqltypes.Unknown, err
+		}
+		isNull := v.IsNull()
+		if t.Neg {
+			return sqltypes.TriOf(!isNull), nil
+		}
+		return sqltypes.TriOf(isNull), nil
+
+	case *qgm.Like:
+		v, err := c.evalScalar(t.E, bd)
+		if err != nil {
+			return sqltypes.Unknown, err
+		}
+		p, err := c.evalScalar(t.Pattern, bd)
+		if err != nil {
+			return sqltypes.Unknown, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return sqltypes.Unknown, nil
+		}
+		if v.Kind() != sqltypes.KindString || p.Kind() != sqltypes.KindString {
+			return sqltypes.Unknown, fmt.Errorf("exec: LIKE on %s and %s", v.Kind(), p.Kind())
+		}
+		match := sqltypes.LikeMatch(v.Str(), p.Str())
+		if t.Neg {
+			return sqltypes.TriOf(!match), nil
+		}
+		return sqltypes.TriOf(match), nil
+
+	default:
+		v, err := c.evalScalar(e, bd)
+		if err != nil {
+			return sqltypes.Unknown, err
+		}
+		return sqltypes.TriFromValue(v), nil
+	}
+}

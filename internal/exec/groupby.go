@@ -1,0 +1,284 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+)
+
+// evalGroupBy evaluates a GROUP BY box: for each grouping set of the
+// canonicalized supergroup, it groups the child rows by the set's columns and
+// computes the aggregate columns, NULL-padding the grouped-out grouping
+// columns (paper §5, Figure 12 semantics).
+func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
+	if len(b.Quantifiers) != 1 || b.Quantifiers[0].Kind != qgm.ForEach {
+		return nil, fmt.Errorf("exec: GROUP BY box %s must have one ForEach child", b.Label)
+	}
+	q := b.Quantifiers[0]
+	childRows, err := ev.evalBox(q.Box)
+	if err != nil {
+		return nil, err
+	}
+	ectx := &exprCtx{scalars: map[int]sqltypes.Value{}, eval: ev}
+	bd := &binding{qids: []int{q.ID}, rows: [][]sqltypes.Value{nil}}
+
+	// Pre-evaluate grouping-column and aggregate-argument expressions per
+	// input row (they are usually simple QNCs, but compensation boxes may
+	// carry arbitrary expressions).
+	type aggSpec struct {
+		agg *qgm.Agg
+		col int
+	}
+	var aggSpecs []aggSpec
+	for i := range b.Cols {
+		if b.IsGroupCol(i) {
+			continue
+		}
+		agg, ok := b.Cols[i].Expr.(*qgm.Agg)
+		if !ok {
+			return nil, fmt.Errorf("exec: GROUP BY output column %q is not an aggregate", b.Cols[i].Name)
+		}
+		aggSpecs = append(aggSpecs, aggSpec{agg: agg, col: i})
+	}
+
+	nGroup := len(b.GroupBy)
+	groupVals := make([][]sqltypes.Value, len(childRows)) // per row: grouping col values, in GroupBy order
+	argVals := make([][]sqltypes.Value, len(childRows))   // per row: aggregate argument values
+	for ri, r := range childRows {
+		bd.rows[0] = r
+		gv := make([]sqltypes.Value, nGroup)
+		for pos, col := range b.GroupBy {
+			v, err := ectx.evalScalar(b.Cols[col].Expr, bd)
+			if err != nil {
+				return nil, err
+			}
+			gv[pos] = v
+		}
+		groupVals[ri] = gv
+		av := make([]sqltypes.Value, len(aggSpecs))
+		for ai, spec := range aggSpecs {
+			if spec.agg.Star {
+				continue
+			}
+			v, err := ectx.evalScalar(spec.agg.Arg, bd)
+			if err != nil {
+				return nil, err
+			}
+			av[ai] = v
+		}
+		argVals[ri] = av
+	}
+
+	sets := b.GroupingSets
+	if len(sets) == 0 {
+		sets = [][]int{allInts(nGroup)}
+	}
+
+	var out [][]sqltypes.Value
+	for _, gs := range sets {
+		inSet := make([]bool, nGroup)
+		for _, pos := range gs {
+			inSet[pos] = true
+		}
+		// A global aggregate (empty grouping set) over empty input produces
+		// one row: COUNT is 0 and the other aggregates are NULL.
+		if len(gs) == 0 && len(childRows) == 0 {
+			row := make([]sqltypes.Value, len(b.Cols))
+			for _, col := range b.GroupBy {
+				row[col] = sqltypes.Null
+			}
+			empty := newGroupState(len(aggSpecs))
+			for ai, spec := range aggSpecs {
+				row[spec.col] = empty.aggs[ai].result(spec.agg)
+			}
+			out = append(out, row)
+			continue
+		}
+		groups := map[string]*groupState{}
+		var order []string
+		for ri := range childRows {
+			var sb strings.Builder
+			for _, pos := range gs {
+				sb.WriteString(groupVals[ri][pos].GroupKey())
+				sb.WriteByte(0)
+			}
+			k := sb.String()
+			g, ok := groups[k]
+			if !ok {
+				g = newGroupState(len(aggSpecs))
+				g.reprRow = ri
+				groups[k] = g
+				order = append(order, k)
+			}
+			for ai, spec := range aggSpecs {
+				if err := g.aggs[ai].accumulate(spec.agg, argVals[ri][ai]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, k := range order {
+			g := groups[k]
+			row := make([]sqltypes.Value, len(b.Cols))
+			for pos, col := range b.GroupBy {
+				if inSet[pos] {
+					row[col] = groupVals[g.reprRow][pos]
+				} else {
+					row[col] = sqltypes.Null
+				}
+			}
+			for ai, spec := range aggSpecs {
+				row[spec.col] = g.aggs[ai].result(spec.agg)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func allInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+type groupState struct {
+	reprRow int
+	aggs    []aggState
+}
+
+func newGroupState(n int) *groupState {
+	return &groupState{aggs: make([]aggState, n)}
+}
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	count    int64
+	sum      sqltypes.Value
+	sumSet   bool
+	minV     sqltypes.Value
+	maxV     sqltypes.Value
+	extSet   bool
+	distinct map[string]sqltypes.Value
+}
+
+func (a *aggState) accumulate(spec *qgm.Agg, arg sqltypes.Value) error {
+	if spec.Star {
+		a.count++
+		return nil
+	}
+	if arg.IsNull() {
+		return nil // aggregates skip NULL inputs
+	}
+	if spec.Distinct {
+		if a.distinct == nil {
+			a.distinct = map[string]sqltypes.Value{}
+		}
+		a.distinct[arg.GroupKey()] = arg
+		return nil
+	}
+	switch spec.Op {
+	case "count":
+		a.count++
+	case "sum":
+		if !a.sumSet {
+			a.sum = arg
+			a.sumSet = true
+		} else {
+			s, err := sqltypes.Add(a.sum, arg)
+			if err != nil {
+				return err
+			}
+			a.sum = s
+		}
+	case "min", "max":
+		if !a.extSet {
+			a.minV, a.maxV = arg, arg
+			a.extSet = true
+		} else {
+			if c, err := sqltypes.Compare(arg, a.minV); err == nil && c < 0 {
+				a.minV = arg
+			}
+			if c, err := sqltypes.Compare(arg, a.maxV); err == nil && c > 0 {
+				a.maxV = arg
+			}
+		}
+	default:
+		return fmt.Errorf("exec: unknown aggregate %q", spec.Op)
+	}
+	return nil
+}
+
+func (a *aggState) result(spec *qgm.Agg) sqltypes.Value {
+	if spec.Distinct {
+		switch spec.Op {
+		case "count":
+			return sqltypes.NewInt(int64(len(a.distinct)))
+		case "sum":
+			var sum sqltypes.Value
+			set := false
+			for _, v := range a.distinct {
+				if !set {
+					sum = v
+					set = true
+					continue
+				}
+				s, err := sqltypes.Add(sum, v)
+				if err != nil {
+					return sqltypes.Null
+				}
+				sum = s
+			}
+			if !set {
+				return sqltypes.Null
+			}
+			return sum
+		case "min", "max":
+			var ext sqltypes.Value
+			set := false
+			for _, v := range a.distinct {
+				if !set {
+					ext = v
+					set = true
+					continue
+				}
+				c, err := sqltypes.Compare(v, ext)
+				if err != nil {
+					return sqltypes.Null
+				}
+				if (spec.Op == "min" && c < 0) || (spec.Op == "max" && c > 0) {
+					ext = v
+				}
+			}
+			if !set {
+				return sqltypes.Null
+			}
+			return ext
+		}
+		return sqltypes.Null
+	}
+	switch spec.Op {
+	case "count":
+		return sqltypes.NewInt(a.count)
+	case "sum":
+		if !a.sumSet {
+			return sqltypes.Null
+		}
+		return a.sum
+	case "min":
+		if !a.extSet {
+			return sqltypes.Null
+		}
+		return a.minV
+	case "max":
+		if !a.extSet {
+			return sqltypes.Null
+		}
+		return a.maxV
+	default:
+		return sqltypes.Null
+	}
+}

@@ -1,0 +1,528 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// randomTable builds a small table with three low-cardinality int dimensions
+// and a value column (some NULLs in the value column).
+func randomTable(rng *rand.Rand, rows int) (*catalog.Catalog, *storage.Store) {
+	cat := catalog.New()
+	cat.MustAddTable(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "a", Type: sqltypes.KindInt},
+			{Name: "b", Type: sqltypes.KindInt},
+			{Name: "c", Type: sqltypes.KindInt},
+			{Name: "v", Type: sqltypes.KindInt, Nullable: true},
+		},
+	})
+	store := storage.NewStore()
+	meta, _ := cat.Table("t")
+	td := store.Create(meta)
+	for i := 0; i < rows; i++ {
+		v := sqltypes.NewInt(int64(rng.Intn(100)))
+		if rng.Intn(8) == 0 {
+			v = sqltypes.Null
+		}
+		td.MustInsert(
+			sqltypes.NewInt(int64(rng.Intn(3))),
+			sqltypes.NewInt(int64(rng.Intn(4))),
+			sqltypes.NewInt(int64(rng.Intn(2))),
+			v,
+		)
+	}
+	return cat, store
+}
+
+// TestPropertyGroupingSetsAreUnionOfCuboids: for random grouping-set
+// combinations, the multidimensional GROUP BY equals the union of its
+// NULL-padded simple cuboids (the §5 semantics the matcher relies on).
+func TestPropertyGroupingSetsAreUnionOfCuboids(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	colNames := []string{"a", "b", "c"}
+	for trial := 0; trial < 60; trial++ {
+		cat, store := randomTable(rng, 60+rng.Intn(100))
+		engine := NewEngine(store)
+
+		// Random distinct grouping sets over {a, b, c}.
+		nSets := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		var sets []int // bitmask per set
+		for len(sets) < nSets {
+			m := rng.Intn(8)
+			if !seen[m] {
+				seen[m] = true
+				sets = append(sets, m)
+			}
+		}
+		setSQL := func(mask int) string {
+			var cols []string
+			for i, c := range colNames {
+				if mask&(1<<i) != 0 {
+					cols = append(cols, c)
+				}
+			}
+			return "(" + strings.Join(cols, ", ") + ")"
+		}
+		var parts []string
+		union := 0
+		for _, m := range sets {
+			parts = append(parts, setSQL(m))
+			union |= m
+		}
+		// Only columns appearing in some grouping set are selectable.
+		var selCols []string
+		var selIdx []int
+		for i, c := range colNames {
+			if union&(1<<i) != 0 {
+				selCols = append(selCols, c)
+				selIdx = append(selIdx, i)
+			}
+		}
+		selList := strings.Join(append(append([]string(nil), selCols...),
+			"count(*) as cnt", "sum(v) as sv"), ", ")
+		multi := fmt.Sprintf("select %s from t group by grouping sets(%s)",
+			selList, strings.Join(parts, ", "))
+		g, err := qgm.BuildSQL(multi, cat)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := engine.Run(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Brute force: per-cuboid simple group-by, NULL-padding by hand.
+		var want [][]sqltypes.Value
+		for _, m := range sets {
+			var gb []string
+			for i, c := range colNames {
+				if m&(1<<i) != 0 {
+					gb = append(gb, c)
+				}
+			}
+			var sql string
+			if len(gb) == 0 {
+				sql = "select count(*) as cnt, sum(v) as sv from t"
+			} else {
+				sql = fmt.Sprintf("select %s, count(*) as cnt, sum(v) as sv from t group by %s",
+					strings.Join(gb, ", "), strings.Join(gb, ", "))
+			}
+			cg, err := qgm.BuildSQL(sql, cat)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			cres, err := engine.Run(cg)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for _, r := range cres.Rows {
+				padded := make([]sqltypes.Value, len(selIdx)+2)
+				k := 0
+				for j, i := range selIdx {
+					if m&(1<<i) != 0 {
+						padded[j] = r[k]
+						k++
+					} else {
+						padded[j] = sqltypes.Null
+					}
+				}
+				padded[len(selIdx)] = r[k]
+				padded[len(selIdx)+1] = r[k+1]
+				want = append(want, padded)
+			}
+		}
+		wantRes := &Result{Cols: got.Cols, Rows: want}
+		if diff := EqualResults(wantRes, got); diff != "" {
+			t.Fatalf("trial %d (sets %v): %s", trial, sets, diff)
+		}
+	}
+}
+
+// TestThreeValuedLogic: NULL comparisons drop rows, IS NULL sees them, and
+// NOT of UNKNOWN stays UNKNOWN.
+func TestThreeValuedLogic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cat, store := randomTable(rng, 50)
+	engine := NewEngine(store)
+	run := func(sql string) *Result {
+		g, err := qgm.BuildSQL(sql, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		r, err := engine.Run(g)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return r
+	}
+	all := run("select v from t")
+	nulls := run("select v from t where v is null")
+	lt := run("select v from t where v < 50")
+	ge := run("select v from t where v >= 50")
+	notLt := run("select v from t where not v < 50")
+	if len(lt.Rows)+len(ge.Rows)+len(nulls.Rows) != len(all.Rows) {
+		t.Fatalf("partition broken: %d + %d + %d != %d",
+			len(lt.Rows), len(ge.Rows), len(nulls.Rows), len(all.Rows))
+	}
+	// NOT(v < 50) is TRUE only where v >= 50: NULLs stay excluded.
+	if len(notLt.Rows) != len(ge.Rows) {
+		t.Fatalf("NOT over UNKNOWN must stay UNKNOWN: %d vs %d", len(notLt.Rows), len(ge.Rows))
+	}
+}
+
+// TestAggregatesSkipNulls: COUNT(v) counts non-NULL only; SUM/MIN/MAX ignore
+// NULL; COUNT(*) counts all.
+func TestAggregatesSkipNulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cat, store := randomTable(rng, 200)
+	engine := NewEngine(store)
+	g, _ := qgm.BuildSQL("select count(*) as all_rows, count(v) as vcnt, sum(v) as sv from t", cat)
+	res, err := engine.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantAll, wantV, wantSum int64
+	for _, r := range store.MustTable("t").Rows {
+		wantAll++
+		if !r[3].IsNull() {
+			wantV++
+			wantSum += r[3].Int()
+		}
+	}
+	row := res.Rows[0]
+	if row[0].Int() != wantAll || row[1].Int() != wantV || row[2].Int() != wantSum {
+		t.Fatalf("got %v, want %d %d %d", row, wantAll, wantV, wantSum)
+	}
+}
+
+// TestNullJoinKeysNeverMatch: equality over NULL is UNKNOWN, so NULL keys
+// join with nothing (exercises the hash-join NULL path).
+func TestNullJoinKeysNeverMatch(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAddTable(&catalog.Table{
+		Name:    "l",
+		Columns: []catalog.Column{{Name: "k", Type: sqltypes.KindInt, Nullable: true}},
+	})
+	cat.MustAddTable(&catalog.Table{
+		Name:    "r",
+		Columns: []catalog.Column{{Name: "k", Type: sqltypes.KindInt, Nullable: true}},
+	})
+	store := storage.NewStore()
+	lm, _ := cat.Table("l")
+	rm, _ := cat.Table("r")
+	lt := store.Create(lm)
+	rt := store.Create(rm)
+	lt.MustInsert(sqltypes.NewInt(1))
+	lt.MustInsert(sqltypes.Null)
+	rt.MustInsert(sqltypes.NewInt(1))
+	rt.MustInsert(sqltypes.Null)
+	g, err := qgm.BuildSQL("select l.k from l, r where l.k = r.k", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(store).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("NULL keys joined: %v", res.Rows)
+	}
+}
+
+// TestJoinOrderIndependence: the same 3-way join expressed with different
+// FROM orders gives identical results (hash-join planning is order-driven).
+func TestJoinOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cat, store := randomTable(rng, 80)
+	engine := NewEngine(store)
+	q1 := "select t1.a, count(*) as c from t t1, t t2, t t3 where t1.a = t2.a and t2.b = t3.b group by t1.a"
+	q2 := "select t1.a, count(*) as c from t t3, t t2, t t1 where t1.a = t2.a and t2.b = t3.b group by t1.a"
+	g1, err := qgm.BuildSQL(q1, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := qgm.BuildSQL(q2, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := engine.Run(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := engine.Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := EqualResults(r1, r2); diff != "" {
+		t.Fatal(diff)
+	}
+}
+
+// TestScalarSubqueryEmptyAndError: empty scalar subqueries yield NULL;
+// multi-row ones error.
+func TestScalarSubqueryEmptyAndError(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cat, store := randomTable(rng, 20)
+	engine := NewEngine(store)
+
+	g, err := qgm.BuildSQL("select a, (select v from t where v > 1000) as nothing from t where a = 0", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if !r[1].IsNull() {
+			t.Fatalf("empty scalar subquery should be NULL: %v", r)
+		}
+	}
+
+	g2, err := qgm.BuildSQL("select a, (select v from t) as multi from t", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(g2); err == nil {
+		t.Fatal("multi-row scalar subquery must error")
+	}
+}
+
+// TestDistinctSelect: SELECT DISTINCT deduplicates exactly.
+func TestDistinctSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cat, store := randomTable(rng, 300)
+	engine := NewEngine(store)
+	g, _ := qgm.BuildSQL("select distinct a, b from t", cat)
+	res, err := engine.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int64]bool{}
+	for _, r := range store.MustTable("t").Rows {
+		want[[2]int64{r[0].Int(), r[1].Int()}] = true
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("distinct: got %d, want %d", len(res.Rows), len(want))
+	}
+}
+
+// TestGlobalAggregateOverEmptyInput: COUNT over an empty filter yields one
+// row with 0; SUM yields NULL.
+func TestGlobalAggregateOverEmptyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cat, store := randomTable(rng, 20)
+	engine := NewEngine(store)
+	g, _ := qgm.BuildSQL("select count(*) as c, sum(v) as s from t where a > 999", cat)
+	res, err := engine.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 0 || !res.Rows[0][1].IsNull() {
+		t.Fatalf("empty global aggregate: %v", res.Rows)
+	}
+	// Grouped aggregate over empty input yields no rows.
+	g2, _ := qgm.BuildSQL("select a, count(*) as c from t where a > 999 group by a", cat)
+	res2, err := engine.Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 0 {
+		t.Fatalf("grouped empty aggregate: %v", res2.Rows)
+	}
+}
+
+// TestCaseExpression: CASE evaluates arms in order with 3VL conditions.
+func TestCaseExpression(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cat, store := randomTable(rng, 100)
+	engine := NewEngine(store)
+	g, err := qgm.BuildSQL(`select v, case when v is null then -1 when v < 50 then 0 else 1 end as bucket from t`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		want := int64(1)
+		switch {
+		case r[0].IsNull():
+			want = -1
+		case r[0].Int() < 50:
+			want = 0
+		}
+		if r[1].Int() != want {
+			t.Fatalf("CASE wrong for %v: got %d", r[0], r[1].Int())
+		}
+	}
+}
+
+// TestDistinctAggregateVariants: SUM/MIN/MAX with DISTINCT against brute
+// force.
+func TestDistinctAggregateVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cat, store := randomTable(rng, 300)
+	engine := NewEngine(store)
+	g, err := qgm.BuildSQL(`select a, count(distinct v) as cd, sum(distinct v) as sd,
+		min(distinct v) as mind, max(distinct v) as maxd from t group by a`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type agg struct {
+		vals map[int64]bool
+	}
+	want := map[int64]*agg{}
+	for _, r := range store.MustTable("t").Rows {
+		a := r[0].Int()
+		if want[a] == nil {
+			want[a] = &agg{vals: map[int64]bool{}}
+		}
+		if !r[3].IsNull() {
+			want[a].vals[r[3].Int()] = true
+		}
+	}
+	for _, r := range res.Rows {
+		w := want[r[0].Int()]
+		var sum, mn, mx int64
+		first := true
+		for v := range w.vals {
+			sum += v
+			if first || v < mn {
+				mn = v
+			}
+			if first || v > mx {
+				mx = v
+			}
+			first = false
+		}
+		if r[1].Int() != int64(len(w.vals)) {
+			t.Fatalf("count distinct: got %v want %d", r[1], len(w.vals))
+		}
+		if len(w.vals) == 0 {
+			if !r[2].IsNull() {
+				t.Fatalf("sum distinct over empty should be NULL: %v", r)
+			}
+			continue
+		}
+		if r[2].Int() != sum || r[3].Int() != mn || r[4].Int() != mx {
+			t.Fatalf("distinct aggs wrong: %v want sum=%d min=%d max=%d", r, sum, mn, mx)
+		}
+	}
+}
+
+// TestDateFunctions: YEAR/MONTH/DAY over DATE columns and NULL propagation.
+func TestDateFunctions(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAddTable(&catalog.Table{
+		Name: "d",
+		Columns: []catalog.Column{
+			{Name: "dt", Type: sqltypes.KindDate, Nullable: true},
+		},
+	})
+	store := storage.NewStore()
+	meta, _ := cat.Table("d")
+	td := store.Create(meta)
+	td.MustInsert(sqltypes.MustParseDate("1993-07-04"))
+	td.MustInsert(sqltypes.Null)
+	g, err := qgm.BuildSQL("select year(dt) as y, month(dt) as m, day(dt) as dd from d", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(store).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortRows(res.Rows)
+	if !res.Rows[0][0].IsNull() || !res.Rows[0][1].IsNull() || !res.Rows[0][2].IsNull() {
+		t.Fatalf("NULL date should propagate: %v", res.Rows[0])
+	}
+	if res.Rows[1][0].Int() != 1993 || res.Rows[1][1].Int() != 7 || res.Rows[1][2].Int() != 4 {
+		t.Fatalf("date parts: %v", res.Rows[1])
+	}
+}
+
+// TestArithmeticErrorsSurface: division by zero aborts execution with an
+// error rather than silently corrupting results.
+func TestArithmeticErrorsSurface(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cat, store := randomTable(rng, 10)
+	g, err := qgm.BuildSQL("select a / (a - a) as boom from t", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(store).Run(g); err == nil {
+		t.Fatal("division by zero must error")
+	}
+}
+
+// TestLikeAndConcat: the LIKE predicate and || operator end to end.
+func TestLikeAndConcat(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAddTable(&catalog.Table{
+		Name: "names",
+		Columns: []catalog.Column{
+			{Name: "first", Type: sqltypes.KindString},
+			{Name: "last", Type: sqltypes.KindString, Nullable: true},
+		},
+	})
+	store := storage.NewStore()
+	meta, _ := cat.Table("names")
+	td := store.Create(meta)
+	td.MustInsert(sqltypes.NewString("ada"), sqltypes.NewString("lovelace"))
+	td.MustInsert(sqltypes.NewString("alan"), sqltypes.NewString("turing"))
+	td.MustInsert(sqltypes.NewString("grace"), sqltypes.Null)
+	engine := NewEngine(store)
+	run := func(sql string) *Result {
+		g, err := qgm.BuildSQL(sql, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		r, err := engine.Run(g)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return r
+	}
+	if r := run("select first from names where first like 'a%'"); len(r.Rows) != 2 {
+		t.Fatalf("a%%: %v", r.Rows)
+	}
+	if r := run("select first from names where first like '_da'"); len(r.Rows) != 1 {
+		t.Fatalf("_da: %v", r.Rows)
+	}
+	if r := run("select first from names where first like '%a%a%'"); len(r.Rows) != 2 {
+		t.Fatalf("%%a%%a%%: %v", r.Rows) // ada and alan both contain two a's
+	}
+	// NULL on either side is UNKNOWN: grace drops out of both LIKE and NOT LIKE.
+	if r := run("select first from names where last like '%ing'"); len(r.Rows) != 1 {
+		t.Fatalf("null like: %v", r.Rows)
+	}
+	if r := run("select first from names where last not like '%ing'"); len(r.Rows) != 1 {
+		t.Fatalf("null not like: %v", r.Rows)
+	}
+	r := run("select first || ' ' || last as full from names where last is not null")
+	SortRows(r.Rows)
+	if r.Rows[0][0].Str() != "ada lovelace" || r.Rows[1][0].Str() != "alan turing" {
+		t.Fatalf("concat: %v", r.Rows)
+	}
+	// NULL propagates through concat.
+	r = run("select first || last as full from names where first = 'grace'")
+	if !r.Rows[0][0].IsNull() {
+		t.Fatalf("null concat: %v", r.Rows)
+	}
+}

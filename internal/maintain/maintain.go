@@ -1,0 +1,359 @@
+// Package maintain implements Automatic Summary Table maintenance — problem
+// (c) of the paper's introduction ("maintaining the ASTs efficiently when the
+// base tables are updated", citing Mumick, Quass & Mumick, SIGMOD 1997).
+//
+// Insert-only incremental maintenance for single-block aggregation ASTs works
+// by the classic delta-aggregation scheme: evaluate the AST's definition over
+// the inserted rows only (joined against the current dimension tables),
+// producing per-group deltas, then merge the deltas into the materialized
+// table — COUNT and SUM add, MIN and MAX take extremes (sound for inserts).
+// ASTs outside that class (multi-block definitions, DISTINCT aggregates,
+// HAVING, or supergroups whose merge would need per-cuboid handling are fine
+// actually — grouping sets merge per output row — but expression-valued
+// output columns are not) fall back to full recomputation.
+package maintain
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// Strategy describes how an AST is refreshed.
+type Strategy uint8
+
+const (
+	// Incremental merges per-group deltas.
+	Incremental Strategy = iota
+	// FullRecompute re-evaluates the definition.
+	FullRecompute
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == Incremental {
+		return "incremental"
+	}
+	return "full"
+}
+
+// colRole classifies one output column of a maintainable AST.
+type colRole struct {
+	key bool
+	agg *qgm.Agg // non-nil for aggregate columns
+}
+
+// Plan is the per-AST maintenance plan produced by Analyze.
+type Plan struct {
+	AST      *core.CompiledAST
+	Strategy Strategy
+	Reason   string // why full recomputation is needed, when it is
+	roles    []colRole
+	keyCols  []int
+	baseTabs map[string]bool // base tables the definition reads
+}
+
+// Maintainer refreshes materialized ASTs after base-table inserts.
+type Maintainer struct {
+	store  *storage.Store
+	engine *exec.Engine
+}
+
+// New returns a maintainer over the store.
+func New(store *storage.Store) *Maintainer {
+	return &Maintainer{store: store, engine: exec.NewEngine(store)}
+}
+
+// Analyze classifies an AST as incrementally maintainable or not and builds
+// its plan.
+func (m *Maintainer) Analyze(ast *core.CompiledAST) *Plan {
+	p := &Plan{AST: ast, Strategy: FullRecompute, baseTabs: map[string]bool{}}
+	g := ast.Graph
+	for _, b := range g.Boxes() {
+		if b.Kind == qgm.BaseTableBox {
+			p.baseTabs[b.Table.Name] = true
+		}
+	}
+
+	// Canonical single-block shape: top SELECT over GROUP BY over SELECT over
+	// base tables only, or a single SELECT over base tables (no aggregation).
+	root := g.Root
+	if root.Kind != qgm.SelectBox {
+		p.Reason = "root is not a SELECT box"
+		return p
+	}
+	if root.Distinct {
+		p.Reason = "DISTINCT output cannot be merged incrementally"
+		return p
+	}
+	var gb *qgm.Box
+	for _, q := range root.Quantifiers {
+		if q.Kind == qgm.Scalar {
+			p.Reason = "scalar subquery in definition"
+			return p
+		}
+		if q.Box.Kind == qgm.GroupByBox {
+			if gb != nil {
+				p.Reason = "multiple GROUP BY children"
+				return p
+			}
+			gb = q.Box
+		} else if q.Box.Kind != qgm.BaseTableBox {
+			p.Reason = "nested block in definition"
+			return p
+		}
+	}
+	if gb == nil {
+		p.Reason = "no aggregation (append-only refresh would need dedup tracking)"
+		return p
+	}
+	if len(root.Quantifiers) != 1 {
+		p.Reason = "join above the GROUP BY"
+		return p
+	}
+	if len(root.Preds) > 0 {
+		p.Reason = "HAVING filters groups; deltas may resurrect filtered groups"
+		return p
+	}
+	lower := gb.Child()
+	if lower.Kind != qgm.SelectBox {
+		p.Reason = "non-SELECT below GROUP BY"
+		return p
+	}
+	for _, q := range lower.Quantifiers {
+		if q.Kind == qgm.Scalar {
+			p.Reason = "scalar subquery in definition"
+			return p
+		}
+		if q.Box.Kind != qgm.BaseTableBox {
+			p.Reason = "nested block in definition"
+			return p
+		}
+	}
+	// Supergroup (grouping sets / rollup / cube) definitions merge per output
+	// row: the delta evaluation NULL-pads each cuboid the same way the
+	// materialized table does, so the full grouping-key tuple (with NULL as a
+	// distinct key value) aligns delta rows with their cuboid's rows. This
+	// requires the grouped-out NULLs to be unambiguous, i.e. non-nullable
+	// underlying grouping expressions — the same assumption §5 slicing makes.
+	if !gb.IsSimpleGroupBy() {
+		for _, col := range gb.GroupBy {
+			cr := gb.Cols[col].Expr.(*qgm.ColRef)
+			if _, nullable := qgm.InferType(cr.Q.Box.Cols[cr.Col].Expr); nullable {
+				p.Reason = "supergroup over a nullable grouping expression: NULL padding is ambiguous"
+				return p
+			}
+		}
+	}
+
+	// Every output column must be a plain reference to a GROUP BY output.
+	p.roles = make([]colRole, len(root.Cols))
+	for i, c := range root.Cols {
+		cr, ok := c.Expr.(*qgm.ColRef)
+		if !ok || cr.Q.Box != gb {
+			p.Reason = fmt.Sprintf("output column %q is computed, not a plain reference", c.Name)
+			return p
+		}
+		if gb.IsGroupCol(cr.Col) {
+			p.roles[i] = colRole{key: true}
+			p.keyCols = append(p.keyCols, i)
+			continue
+		}
+		agg := gb.Cols[cr.Col].Expr.(*qgm.Agg)
+		if agg.Distinct {
+			p.Reason = "DISTINCT aggregate cannot be merged incrementally"
+			return p
+		}
+		switch agg.Op {
+		case "count", "sum", "min", "max":
+			p.roles[i] = colRole{agg: agg}
+		default:
+			p.Reason = fmt.Sprintf("aggregate %q not mergeable", agg.Op)
+			return p
+		}
+	}
+	p.Strategy = Incremental
+	return p
+}
+
+// Stats reports one refresh.
+type Stats struct {
+	AST       string
+	Strategy  Strategy
+	DeltaRows int // AST-level delta groups (incremental) or full rows
+	Merged    int // existing groups updated
+	Added     int // new groups appended
+	Duration  time.Duration
+}
+
+// ApplyInsert appends rows to a base table and refreshes every AST whose
+// definition reads it (incrementally where the plan allows). Plans for ASTs
+// not reading the table are skipped with zero-cost stats.
+func (m *Maintainer) ApplyInsert(plans []*Plan, table string, rows [][]sqltypes.Value) ([]Stats, error) {
+	table = strings.ToLower(table)
+	td, ok := m.store.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("maintain: table %q not loaded", table)
+	}
+
+	var out []Stats
+	for _, p := range plans {
+		if !p.baseTabs[table] {
+			continue
+		}
+		start := time.Now()
+		var st Stats
+		var err error
+		if p.Strategy == Incremental {
+			st, err = m.incrementalRefresh(p, table, rows)
+		}
+		if p.Strategy != Incremental || err != nil {
+			// Full fallback runs after the base insert below; mark it.
+			st = Stats{AST: p.AST.Def.Name, Strategy: FullRecompute}
+		}
+		st.Duration = time.Since(start)
+		out = append(out, st)
+	}
+
+	// Apply the base insert.
+	for _, r := range rows {
+		if err := td.Insert(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// Full recomputations see the post-insert state.
+	for i := range out {
+		if out[i].Strategy == FullRecompute {
+			start := time.Now()
+			p := findPlan(plans, out[i].AST)
+			res, err := m.engine.Run(p.AST.Graph)
+			if err != nil {
+				return nil, fmt.Errorf("maintain: full refresh of %s: %w", p.AST.Def.Name, err)
+			}
+			m.store.Put(p.AST.Table, res.Rows)
+			out[i].DeltaRows = len(res.Rows)
+			out[i].Duration += time.Since(start)
+		}
+	}
+	return out, nil
+}
+
+func findPlan(plans []*Plan, name string) *Plan {
+	for _, p := range plans {
+		if p.AST.Def.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// incrementalRefresh computes the delta aggregation over the inserted rows
+// (before they are added to the base table) and merges it into the
+// materialized AST.
+func (m *Maintainer) incrementalRefresh(p *Plan, table string, rows [][]sqltypes.Value) (Stats, error) {
+	st := Stats{AST: p.AST.Def.Name, Strategy: Incremental}
+
+	// Evaluate the definition with the inserted table temporarily replaced by
+	// just the delta rows; other tables keep their current contents. For
+	// insert-only deltas into one table this yields exactly Δ(join) under the
+	// usual delta rule.
+	td := m.store.MustTable(table)
+	saved := td.Rows
+	td.Rows = rows
+	delta, err := m.engine.Run(p.AST.Graph)
+	td.Rows = saved
+	if err != nil {
+		return st, fmt.Errorf("maintain: delta eval: %w", err)
+	}
+	st.DeltaRows = len(delta.Rows)
+	if len(delta.Rows) == 0 {
+		return st, nil
+	}
+
+	mat, ok := m.store.Table(p.AST.Def.Name)
+	if !ok {
+		return st, fmt.Errorf("maintain: AST %q not materialized", p.AST.Def.Name)
+	}
+
+	// Index existing groups by key columns.
+	index := make(map[string]int, len(mat.Rows))
+	key := func(r []sqltypes.Value) string {
+		var sb strings.Builder
+		for _, k := range p.keyCols {
+			sb.WriteString(r[k].GroupKey())
+			sb.WriteByte(0)
+		}
+		return sb.String()
+	}
+	for i, r := range mat.Rows {
+		index[key(r)] = i
+	}
+
+	for _, d := range delta.Rows {
+		if i, ok := index[key(d)]; ok {
+			if err := mergeRow(p, mat.Rows[i], d); err != nil {
+				return st, err
+			}
+			st.Merged++
+		} else {
+			nr := append([]sqltypes.Value(nil), d...)
+			mat.Rows = append(mat.Rows, nr)
+			index[key(nr)] = len(mat.Rows) - 1
+			st.Added++
+		}
+	}
+	return st, nil
+}
+
+// mergeRow folds a delta group into an existing group in place.
+func mergeRow(p *Plan, dst, delta []sqltypes.Value) error {
+	for i, role := range p.roles {
+		if role.key {
+			continue
+		}
+		switch role.agg.Op {
+		case "count", "sum":
+			if delta[i].IsNull() {
+				continue // SUM delta over all-NULL inputs adds nothing
+			}
+			if dst[i].IsNull() {
+				dst[i] = delta[i]
+				continue
+			}
+			v, err := sqltypes.Add(dst[i], delta[i])
+			if err != nil {
+				return fmt.Errorf("maintain: merging column %d: %w", i, err)
+			}
+			dst[i] = v
+		case "min":
+			dst[i] = extreme(dst[i], delta[i], true)
+		case "max":
+			dst[i] = extreme(dst[i], delta[i], false)
+		}
+	}
+	return nil
+}
+
+func extreme(a, b sqltypes.Value, min bool) sqltypes.Value {
+	if a.IsNull() {
+		return b
+	}
+	if b.IsNull() {
+		return a
+	}
+	c, err := sqltypes.Compare(b, a)
+	if err != nil {
+		return a
+	}
+	if (min && c < 0) || (!min && c > 0) {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,194 @@
+// Package parser implements a lexer and recursive-descent parser for the SQL
+// subset used by the paper: SELECT blocks with arbitrary scalar expressions,
+// joins expressed in WHERE, aggregate functions (including DISTINCT
+// arguments), HAVING, scalar subqueries, derived tables in FROM, and GROUP BY
+// clauses containing plain expressions, ROLLUP, CUBE and GROUPING SETS.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+const (
+	// TokEOF terminates the stream.
+	TokEOF TokenKind = iota
+	// TokIdent is an unquoted or quoted identifier (lowercased when unquoted).
+	TokIdent
+	// TokKeyword is a reserved word (uppercased).
+	TokKeyword
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal (quotes stripped).
+	TokString
+	// TokOp is an operator or punctuation token.
+	TokOp
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return "'" + t.Text + "'"
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"NULL": true, "IS": true, "IN": true, "BETWEEN": true, "DISTINCT": true,
+	"ALL": true, "ROLLUP": true, "CUBE": true, "GROUPING": true, "SETS": true,
+	"ORDER": true, "ASC": true, "DESC": true, "UNION": true, "DATE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"EXISTS": true, "LIKE": true, "LIMIT": true, "TRUE": true, "FALSE": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []Token
+}
+
+// Lex tokenizes the input. Unquoted identifiers are folded to lower case and
+// keywords to upper case, matching common SQL case-insensitivity.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.Kind == TokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: strings.ToLower(word), Pos: start}, nil
+
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("parser: unterminated string literal at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+
+	case c == '"':
+		// Quoted identifier: preserved case.
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '"')
+		if end < 0 {
+			return Token{}, fmt.Errorf("parser: unterminated quoted identifier at offset %d", start)
+		}
+		text := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+
+	default:
+		// Multi-char operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<>", "!=", "<=", ">=", "||":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return Token{Kind: TokOp, Text: two, Pos: start}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '(', ')', ',', '=', '<', '>', '.', ';':
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("parser: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

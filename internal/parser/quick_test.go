@@ -1,0 +1,139 @@
+package parser
+
+// Property-based round-trip testing with testing/quick: random expression
+// trees render to SQL that re-parses to an identical rendering, and random
+// SELECT statements assembled from grammar pieces are fixpoints of
+// parse∘render.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqltypes"
+)
+
+// genExpr builds a random expression of bounded depth.
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &Lit{Val: sqltypes.NewInt(int64(r.Intn(200) - 100))}
+		case 1:
+			return &Lit{Val: sqltypes.NewString(fmt.Sprintf("s%d", r.Intn(10)))}
+		case 2:
+			return &ColRef{Name: fmt.Sprintf("c%d", r.Intn(5))}
+		default:
+			return &ColRef{Qualifier: "t", Name: fmt.Sprintf("c%d", r.Intn(5))}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		ops := []string{"+", "-", "*", "/", "%"}
+		return &BinExpr{Op: ops[r.Intn(len(ops))], L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 1:
+		ops := []string{"=", "<>", "<", "<=", ">", ">="}
+		return &BinExpr{Op: ops[r.Intn(len(ops))], L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 2:
+		ops := []string{"AND", "OR"}
+		return &BinExpr{Op: ops[r.Intn(len(ops))], L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 3:
+		return &UnaryExpr{Op: "NOT", E: genExpr(r, depth-1)}
+	case 4:
+		return &IsNullExpr{E: genExpr(r, depth-1), Not: r.Intn(2) == 0}
+	case 5:
+		return &BetweenExpr{E: genExpr(r, depth-1), Lo: genExpr(r, depth-1), Hi: genExpr(r, depth-1), Not: r.Intn(2) == 0}
+	case 6:
+		n := 1 + r.Intn(3)
+		list := make([]Expr, n)
+		for i := range list {
+			list[i] = genExpr(r, 0)
+		}
+		return &InExpr{E: genExpr(r, depth-1), List: list, Not: r.Intn(2) == 0}
+	default:
+		fn := []string{"year", "month", "day"}[r.Intn(3)]
+		return &FuncCall{Name: fn, Args: []Expr{genExpr(r, depth-1)}}
+	}
+}
+
+func TestQuickExprRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 400,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(genExpr(r, 3).SQL())
+		},
+	}
+	f := func(sql string) bool {
+		e1, err := ParseExpr(sql)
+		if err != nil {
+			t.Logf("failed to parse own rendering %q: %v", sql, err)
+			return false
+		}
+		sql2 := e1.SQL()
+		if sql != sql2 {
+			t.Logf("not a fixpoint:\n  %s\n  %s", sql, sql2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSelectRoundTrip(t *testing.T) {
+	genSelect := func(r *rand.Rand) string {
+		var sb strings.Builder
+		sb.WriteString("SELECT ")
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(genExpr(r, 2).SQL())
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&sb, " AS a%d", i)
+			}
+		}
+		sb.WriteString(" FROM t")
+		if r.Intn(3) == 0 {
+			sb.WriteString(", u AS uu")
+		}
+		if r.Intn(2) == 0 {
+			sb.WriteString(" WHERE " + genExpr(r, 2).SQL())
+		}
+		if r.Intn(2) == 0 {
+			sb.WriteString(" GROUP BY c0")
+			if r.Intn(3) == 0 {
+				sb.WriteString(" HAVING count(*) > 1")
+			}
+		}
+		return sb.String()
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(genSelect(r))
+		},
+	}
+	f := func(sql string) bool {
+		s1, err := Parse(sql)
+		if err != nil {
+			t.Logf("parse %q: %v", sql, err)
+			return false
+		}
+		r1 := s1.SQL()
+		s2, err := Parse(r1)
+		if err != nil {
+			t.Logf("re-parse %q: %v", r1, err)
+			return false
+		}
+		return s2.SQL() == r1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

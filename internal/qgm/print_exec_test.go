@@ -1,0 +1,60 @@
+package qgm_test
+
+// Black-box printer test: a printed graph must re-compile to a query that
+// produces identical results — the property the CLI and NewQ display rely on.
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/qgm"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func TestPrintedSQLExecutesIdentically(t *testing.T) {
+	cat := catalog.New()
+	workload.Schema(cat)
+	store := storage.NewStore()
+	workload.Load(cat, store, workload.StarConfig{NumTrans: 1500, Seed: 31})
+	engine := exec.NewEngine(store)
+
+	queries := []string{
+		"select tid, qty * price as v from trans where qty > 2 and disc > 0.1",
+		"select faid, count(*) as cnt, sum(qty) as s from trans group by faid having count(*) > 3",
+		"select state, year(date) as year, count(*) as cnt from trans, loc where flid = lid and country = 'USA' group by state, year(date)",
+		"select faid, flid, count(*) as c from trans group by grouping sets((faid, flid), (faid), ())",
+		"select distinct faid, qty from trans where price > 100",
+		"select tid, (select count(*) from loc) as n from trans where qty = 1",
+		"select y, count(*) as c from (select year(date) as y, faid from trans where month(date) > 3) d group by y",
+		"select faid, avg(price) as ap from trans group by faid",
+		"select year(date) % 100 as yy, max(price) as mx, min(qty) as mq from trans group by year(date) % 100",
+	}
+	for _, sql := range queries {
+		g1, err := qgm.BuildSQL(sql, cat)
+		if err != nil {
+			t.Errorf("build %q: %v", sql, err)
+			continue
+		}
+		r1, err := engine.Run(g1)
+		if err != nil {
+			t.Errorf("run %q: %v", sql, err)
+			continue
+		}
+		printed := g1.SQL()
+		g2, err := qgm.BuildSQL(printed, cat)
+		if err != nil {
+			t.Errorf("printed SQL does not compile:\n  orig:    %s\n  printed: %s\n  err: %v", sql, printed, err)
+			continue
+		}
+		r2, err := engine.Run(g2)
+		if err != nil {
+			t.Errorf("printed SQL does not run: %s: %v", printed, err)
+			continue
+		}
+		if diff := exec.EqualResults(r1, r2); diff != "" {
+			t.Errorf("printed SQL diverges: %s\n  orig:    %s\n  printed: %s", diff, sql, printed)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package qgm
+
+import (
+	"fmt"
+)
+
+// Validate checks the structural invariants of a graph and returns the first
+// violation. It is used by tests to audit every compensation the matcher
+// splices in, and by the CLI when loading hand-written definitions:
+//
+//   - the root exists and every quantifier points at a box;
+//   - base-table boxes carry a table and no predicates or quantifiers;
+//   - GROUP BY boxes have exactly one ForEach child, grouping columns that
+//     are plain input references, aggregate expressions for every other
+//     column, and grouping sets whose positions are in range;
+//   - every column reference targets a quantifier visible in the referencing
+//     box and a column within the producer's arity;
+//   - aggregate expressions appear only as GROUP BY output columns.
+func (g *Graph) Validate() error {
+	if g.Root == nil {
+		return fmt.Errorf("qgm: graph has no root")
+	}
+	for _, b := range g.Boxes() {
+		if err := validateBox(b); err != nil {
+			return fmt.Errorf("box %s(#%d): %w", b.Label, b.ID, err)
+		}
+	}
+	return nil
+}
+
+func validateBox(b *Box) error {
+	inScope := map[int]*Quantifier{}
+	for _, q := range b.Quantifiers {
+		if q.Box == nil {
+			return fmt.Errorf("quantifier q%d has no child box", q.ID)
+		}
+		inScope[q.ID] = q
+	}
+
+	// checkExpr verifies column references; aggregates are only legal as the
+	// top node of a GROUP BY output column, which validateBox checks
+	// structurally before descending into the argument.
+	checkExpr := func(e Expr) error {
+		var err error
+		WalkExpr(e, func(x Expr) bool {
+			if err != nil {
+				return false
+			}
+			switch t := x.(type) {
+			case *ColRef:
+				if t.Q == nil {
+					err = fmt.Errorf("unbound column reference")
+					return false
+				}
+				q, ok := inScope[t.Q.ID]
+				if !ok {
+					err = fmt.Errorf("reference to out-of-scope quantifier q%d", t.Q.ID)
+					return false
+				}
+				if t.Col < 0 || t.Col >= len(q.Box.Cols) {
+					err = fmt.Errorf("column %d out of range for %s (arity %d)", t.Col, q.Box.Label, len(q.Box.Cols))
+					return false
+				}
+			case *Agg:
+				err = fmt.Errorf("aggregate %s outside a GROUP BY output column", t.String())
+				return false
+			}
+			return true
+		})
+		return err
+	}
+
+	switch b.Kind {
+	case BaseTableBox:
+		if b.Table == nil {
+			return fmt.Errorf("base table box without table")
+		}
+		if len(b.Quantifiers) > 0 || len(b.Preds) > 0 {
+			return fmt.Errorf("base table box with children or predicates")
+		}
+		if len(b.Cols) != len(b.Table.Columns) {
+			return fmt.Errorf("base table arity mismatch")
+		}
+		return nil
+
+	case SelectBox:
+		for _, c := range b.Cols {
+			if c.Expr == nil {
+				return fmt.Errorf("select output %q has no expression", c.Name)
+			}
+			if err := checkExpr(c.Expr); err != nil {
+				return fmt.Errorf("output %q: %w", c.Name, err)
+			}
+		}
+		for i, p := range b.Preds {
+			if err := checkExpr(p); err != nil {
+				return fmt.Errorf("predicate %d: %w", i, err)
+			}
+		}
+		if len(b.GroupBy) > 0 || len(b.GroupingSets) > 0 {
+			return fmt.Errorf("select box with grouping metadata")
+		}
+		return nil
+
+	case GroupByBox:
+		if len(b.Quantifiers) != 1 || b.Quantifiers[0].Kind != ForEach {
+			return fmt.Errorf("GROUP BY box must have exactly one ForEach child")
+		}
+		if len(b.Preds) > 0 {
+			return fmt.Errorf("GROUP BY box with predicates")
+		}
+		seen := map[int]bool{}
+		for _, col := range b.GroupBy {
+			if col < 0 || col >= len(b.Cols) {
+				return fmt.Errorf("grouping ordinal %d out of range", col)
+			}
+			if seen[col] {
+				return fmt.Errorf("duplicate grouping ordinal %d", col)
+			}
+			seen[col] = true
+			if _, ok := b.Cols[col].Expr.(*ColRef); !ok {
+				return fmt.Errorf("grouping column %q is not a plain input reference", b.Cols[col].Name)
+			}
+		}
+		for i, c := range b.Cols {
+			if b.IsGroupCol(i) {
+				if err := checkExpr(c.Expr); err != nil {
+					return fmt.Errorf("grouping column %q: %w", c.Name, err)
+				}
+				continue
+			}
+			agg, ok := c.Expr.(*Agg)
+			if !ok {
+				return fmt.Errorf("non-grouping output %q is not an aggregate", c.Name)
+			}
+			if !agg.Star {
+				if err := checkExpr(agg.Arg); err != nil {
+					return fmt.Errorf("aggregate %q argument: %w", c.Name, err)
+				}
+			}
+		}
+		if len(b.GroupingSets) == 0 {
+			return fmt.Errorf("GROUP BY box without grouping sets")
+		}
+		for _, gs := range b.GroupingSets {
+			for _, pos := range gs {
+				if pos < 0 || pos >= len(b.GroupBy) {
+					return fmt.Errorf("grouping-set position %d out of range (%d grouping columns)", pos, len(b.GroupBy))
+				}
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown box kind %d", b.Kind)
+	}
+}

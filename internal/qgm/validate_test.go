@@ -1,0 +1,126 @@
+package qgm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func TestValidateAcceptsBuiltGraphs(t *testing.T) {
+	cat := testCatalog(t)
+	for _, sql := range []string{
+		"select tid, qty from trans where qty > 1",
+		"select faid, count(*) as c from trans group by faid having count(*) > 2",
+		"select faid, flid, count(*) as c from trans group by rollup(faid, flid)",
+		"select distinct faid, flid from trans",
+		"select tid, (select count(*) from loc) as n from trans",
+		"select y, count(*) as c from (select year(date) as y from trans) d group by y",
+	} {
+		g, err := BuildSQL(sql, cat)
+		if err != nil {
+			t.Fatalf("build %q: %v", sql, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate(%q): %v", sql, err)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cat := testCatalog(t)
+	fresh := func() *Graph {
+		return MustBuildSQL("select faid, count(*) as c from trans group by faid", cat)
+	}
+
+	// Out-of-range column reference.
+	g := fresh()
+	gb := g.Root.Child()
+	g.Root.Cols[0].Expr = &ColRef{Q: g.Root.Quantifiers[0], Col: 99}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range ref: %v", err)
+	}
+
+	// Aggregate in a SELECT output.
+	g = fresh()
+	g.Root.Cols[0].Expr = &Agg{Op: "count", Star: true}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "aggregate") {
+		t.Errorf("agg in select: %v", err)
+	}
+
+	// Predicate on a GROUP BY box.
+	g = fresh()
+	gb = g.Root.Child()
+	gb.Preds = append(gb.Preds, &Const{Val: sqltypes.NewBool(true)})
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "predicates") {
+		t.Errorf("gb pred: %v", err)
+	}
+
+	// Grouping set position out of range.
+	g = fresh()
+	gb = g.Root.Child()
+	gb.GroupingSets = [][]int{{5}}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "grouping-set position") {
+		t.Errorf("bad grouping set: %v", err)
+	}
+
+	// Out-of-scope quantifier.
+	g = fresh()
+	alien := &Quantifier{ID: 4242, Box: g.Root.Child()}
+	g.Root.Cols[0].Expr = &ColRef{Q: alien, Col: 0}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "out-of-scope") {
+		t.Errorf("alien quantifier: %v", err)
+	}
+
+	// Non-aggregate extra output on a GROUP BY box.
+	g = fresh()
+	gb = g.Root.Child()
+	gb.Cols = append(gb.Cols, QCL{Name: "bad", Expr: &Bin{
+		Op: "+",
+		L:  &ColRef{Q: gb.Quantifiers[0], Col: 0},
+		R:  &Const{Val: sqltypes.NewInt(1)},
+	}})
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "not an aggregate") {
+		t.Errorf("non-agg output: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	cat := testCatalog(t)
+	g := MustBuildSQL(`select state, count(*) as c from trans, loc
+		where flid = lid and qty > 2 group by state having count(*) > 1`, cat)
+	c := g.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	// Same structure.
+	if len(c.Boxes()) != len(g.Boxes()) {
+		t.Fatalf("box count differs: %d vs %d", len(c.Boxes()), len(g.Boxes()))
+	}
+	// No shared boxes or quantifiers.
+	origBoxes := map[*Box]bool{}
+	for _, b := range g.Boxes() {
+		origBoxes[b] = true
+	}
+	for _, b := range c.Boxes() {
+		if origBoxes[b] {
+			t.Fatal("clone shares a box with the original")
+		}
+		for _, q := range b.Quantifiers {
+			for _, ob := range g.Boxes() {
+				for _, oq := range ob.Quantifiers {
+					if q == oq {
+						t.Fatal("clone shares a quantifier")
+					}
+				}
+			}
+		}
+	}
+	// Mutating the clone leaves the original printable/intact.
+	before := g.SQL()
+	c.Root.Preds = nil
+	c.Root.Cols = c.Root.Cols[:1]
+	if g.SQL() != before {
+		t.Fatal("mutating the clone changed the original")
+	}
+}

@@ -1,0 +1,97 @@
+package sqltypes
+
+// Tri is SQL three-valued logic: TRUE, FALSE or UNKNOWN. Predicates over NULL
+// operands evaluate to Unknown, and WHERE/HAVING keep a row only when the
+// predicate is True.
+type Tri uint8
+
+const (
+	// False is definitely false.
+	False Tri = iota
+	// True is definitely true.
+	True
+	// Unknown is the third truth value produced by NULL comparisons.
+	Unknown
+)
+
+// String renders the truth value.
+func (t Tri) String() string {
+	switch t {
+	case False:
+		return "FALSE"
+	case True:
+		return "TRUE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// TriOf lifts a Go bool into Tri.
+func TriOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And implements Kleene AND.
+func (t Tri) And(o Tri) Tri {
+	if t == False || o == False {
+		return False
+	}
+	if t == True && o == True {
+		return True
+	}
+	return Unknown
+}
+
+// Or implements Kleene OR.
+func (t Tri) Or(o Tri) Tri {
+	if t == True || o == True {
+		return True
+	}
+	if t == False && o == False {
+		return False
+	}
+	return Unknown
+}
+
+// Not implements Kleene NOT.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// Value converts the truth value to a SQL value (Unknown becomes NULL).
+func (t Tri) Value() Value {
+	switch t {
+	case True:
+		return NewBool(true)
+	case False:
+		return NewBool(false)
+	default:
+		return Null
+	}
+}
+
+// TriFromValue interprets a value as a truth value: NULL is Unknown, booleans
+// map directly, and non-zero numerics are True (permissive, used only by the
+// evaluator when a boolean-typed expression is stored and reloaded).
+func TriFromValue(v Value) Tri {
+	switch v.Kind() {
+	case KindNull:
+		return Unknown
+	case KindBool:
+		return TriOf(v.Bool())
+	case KindInt:
+		return TriOf(v.Int() != 0)
+	default:
+		return Unknown
+	}
+}

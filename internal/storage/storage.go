@@ -1,0 +1,92 @@
+// Package storage provides an in-memory row store: named tables with
+// catalog-described schemas and bulk loading. It is the execution substrate —
+// the paper ran inside DB2; we run the same QGM graphs over this store.
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+)
+
+// TableData is the stored rows of one table.
+type TableData struct {
+	Meta *catalog.Table
+	Rows [][]sqltypes.Value
+}
+
+// Store maps table names to their data. Mutation is not concurrency-safe;
+// reads after load are.
+type Store struct {
+	tables map[string]*TableData
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*TableData)}
+}
+
+// Create registers an empty table with the given schema.
+func (s *Store) Create(meta *catalog.Table) *TableData {
+	td := &TableData{Meta: meta}
+	s.tables[strings.ToLower(meta.Name)] = td
+	return td
+}
+
+// Put replaces (or creates) a table's data wholesale.
+func (s *Store) Put(meta *catalog.Table, rows [][]sqltypes.Value) *TableData {
+	td := &TableData{Meta: meta, Rows: rows}
+	s.tables[strings.ToLower(meta.Name)] = td
+	return td
+}
+
+// Drop removes a table.
+func (s *Store) Drop(name string) {
+	delete(s.tables, strings.ToLower(name))
+}
+
+// Table returns a table's data by name.
+func (s *Store) Table(name string) (*TableData, bool) {
+	td, ok := s.tables[strings.ToLower(name)]
+	return td, ok
+}
+
+// MustTable is Table that panics when missing.
+func (s *Store) MustTable(name string) *TableData {
+	td, ok := s.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("storage: table %q not loaded", name))
+	}
+	return td
+}
+
+// Insert appends one row after arity-checking it.
+func (t *TableData) Insert(row []sqltypes.Value) error {
+	if len(row) != len(t.Meta.Columns) {
+		return fmt.Errorf("storage: row arity %d != %d for table %s", len(row), len(t.Meta.Columns), t.Meta.Name)
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (t *TableData) MustInsert(row ...sqltypes.Value) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// Cardinality returns the row count.
+func (t *TableData) Cardinality() int { return len(t.Rows) }
+
+// TableRows reports a table's cardinality (0 when not loaded); it implements
+// the rewriter's Sizer interface for cost-based AST applicability.
+func (s *Store) TableRows(name string) int {
+	td, ok := s.Table(name)
+	if !ok {
+		return 0
+	}
+	return td.Cardinality()
+}

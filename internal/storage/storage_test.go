@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+)
+
+func meta() *catalog.Table {
+	return &catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "a", Type: sqltypes.KindInt},
+			{Name: "b", Type: sqltypes.KindString},
+		},
+	}
+}
+
+func TestCreateInsertLookup(t *testing.T) {
+	s := NewStore()
+	td := s.Create(meta())
+	td.MustInsert(sqltypes.NewInt(1), sqltypes.NewString("x"))
+	td.MustInsert(sqltypes.NewInt(2), sqltypes.NewString("y"))
+	got, ok := s.Table("T") // case-insensitive
+	if !ok || got.Cardinality() != 2 {
+		t.Fatalf("lookup: ok=%v card=%d", ok, got.Cardinality())
+	}
+}
+
+func TestInsertArityCheck(t *testing.T) {
+	s := NewStore()
+	td := s.Create(meta())
+	if err := td.Insert([]sqltypes.Value{sqltypes.NewInt(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	s := NewStore()
+	s.Create(meta())
+	rows := [][]sqltypes.Value{{sqltypes.NewInt(9), sqltypes.NewString("z")}}
+	s.Put(meta(), rows)
+	if s.MustTable("t").Cardinality() != 1 {
+		t.Fatal("Put did not replace")
+	}
+}
+
+func TestDropAndMustTablePanic(t *testing.T) {
+	s := NewStore()
+	s.Create(meta())
+	s.Drop("t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable on missing table should panic")
+		}
+	}()
+	s.MustTable("t")
+}

@@ -1,0 +1,131 @@
+package workload
+
+// The paper reports its performance results on "the TPC-D benchmark and
+// several customer applications" (§1, §8) without publishing numbers. TPC-D's
+// data is a different schema; what transfers is the *style* of its
+// decision-support queries — multi-way joins into a fact table, rich
+// aggregation along dimension hierarchies, date-range filters, HAVING
+// thresholds. DSQueries expresses that style over the Figure 1 credit-card
+// schema, and DSASTs is a summary-table set sized like the ones the paper
+// describes deploying, so the experiment harness can reproduce the
+// "orders-of-magnitude with a handful of ASTs" claim end to end.
+
+// DSQuery is one decision-support query of the suite.
+type DSQuery struct {
+	Name  string
+	Descr string
+	SQL   string
+}
+
+// DSQueries is the TPC-D-flavoured suite.
+var DSQueries = []DSQuery{
+	{"ds1", "pricing summary by product group and year (TPC-D Q1 style)", `
+		select fpgid, year(date) as year,
+		       count(*) as cnt, sum(qty) as sum_qty,
+		       sum(qty * price) as gross, sum(qty * price * (1 - disc)) as net,
+		       avg(price) as avg_price
+		from trans
+		group by fpgid, year(date)`},
+	{"ds2", "revenue by state for USA (TPC-D Q5 style)", `
+		select state, year(date) as year, sum(qty * price * (1 - disc)) as revenue
+		from trans, loc
+		where flid = lid and country = 'USA'
+		group by state, year(date)`},
+	{"ds3", "big-ticket accounts (TPC-D Q10 style)", `
+		select faid, sum(qty * price) as spend, count(*) as cnt
+		from trans
+		where year(date) >= 1991
+		group by faid
+		having sum(qty * price) > 10000`},
+	{"ds4", "seasonality: H2 volume per product group", `
+		select fpgid, count(*) as cnt, sum(qty) as items
+		from trans
+		where month(date) >= 7
+		group by fpgid`},
+	{"ds5", "discount effect per year (TPC-D Q6 style)", `
+		select year(date) as year, sum(qty * price * disc) as givenaway
+		from trans
+		where disc > 0.1
+		group by year(date)`},
+	{"ds6", "active months per location", `
+		select flid, count(*) as busy_months
+		from (select flid, year(date) as y, month(date) as m, count(*) as n
+		      from trans group by flid, year(date), month(date)) mm
+		where n > 5
+		group by flid`},
+	{"ds7", "country share of yearly volume", `
+		select country, year(date) as year, count(*) as cnt,
+		       (select count(*) from trans) as total
+		from trans, loc
+		where flid = lid
+		group by country, year(date)`},
+	{"ds8", "per-product price extremes by year", `
+		select fpgid, year(date) as year, min(price) as lo, max(price) as hi
+		from trans
+		group by fpgid, year(date)`},
+	{"ds9", "local volume per city (rejoin to the location dimension)", `
+		select city, count(*) as cnt
+		from trans, loc
+		where flid = lid
+		group by city`},
+	{"ds10", "product drill-down with rollup (TPC-D Q13/cube style)", `
+		select fpgid, year(date) as year, count(*) as cnt
+		from trans
+		group by rollup(fpgid, year(date))`},
+	{"ds11", "accounts outspending the average account (nested blocks)", `
+		select faid, spend
+		from (select faid, sum(qty * price) as spend from trans group by faid) a
+		where spend > (select sum(qty * price) / count(distinct faid) from trans)`},
+	{"ds12", "mean basket value per year (AVG canonicalization)", `
+		select year(date) as year, avg(qty * price) as avg_basket
+		from trans
+		group by year(date)`},
+}
+
+// DSAST is one summary table of the recommended set.
+type DSAST struct {
+	Name string
+	SQL  string
+}
+
+// DSASTs is the deployed AST set for the suite: one fine-grained summary per
+// dimension family, in the paper's "small number of ASTs" spirit.
+var DSASTs = []DSAST{
+	{"st_product_month", `
+		select fpgid, year(date) as year, month(date) as month,
+		       count(*) as cnt, sum(qty) as sum_qty,
+		       sum(qty * price) as gross, sum(qty * price * (1 - disc)) as net,
+		       sum(price) as sum_price, count(price) as cnt_price,
+		       min(price) as lo, max(price) as hi
+		from trans
+		group by fpgid, year(date), month(date)`},
+	{"st_loc_year", `
+		select flid, year(date) as year, month(date) as month,
+		       count(*) as cnt, sum(qty * price * (1 - disc)) as revenue
+		from trans
+		group by flid, year(date), month(date)`},
+	{"st_acct_year", `
+		select faid, year(date) as year,
+		       count(*) as cnt, sum(qty * price) as spend
+		from trans
+		group by faid, year(date)`},
+	{"st_disc_year", `
+		select year(date) as year, disc, count(*) as cnt,
+		       sum(qty * price * disc) as givenaway
+		from trans
+		group by year(date), disc`},
+	{"st_loc_month_detail", `
+		select flid, year(date) as y, month(date) as m, count(*) as n
+		from trans
+		group by flid, year(date), month(date)`},
+	{"st_acct_spend", `
+		select faid, sum(qty * price) as spend, count(*) as cnt,
+		       sum(price) as sp, count(price) as cp
+		from trans
+		group by faid`},
+	{"st_product_basket", `
+		select fpgid, year(date) as year, count(*) as cnt,
+		       sum(qty * price) as gross, count(qty * price) as nbaskets
+		from trans
+		group by fpgid, year(date)`},
+}
