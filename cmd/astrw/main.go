@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/parser"
 	"repro/internal/qgm"
+	"repro/internal/resilient"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -40,6 +42,7 @@ type shell struct {
 	asts    []*core.CompiledAST
 	out     io.Writer
 	maxRows int
+	limits  exec.Limits
 }
 
 func main() {
@@ -47,6 +50,9 @@ func main() {
 	demo := flag.Bool("demo", false, "preload the paper's credit-card star schema with synthetic data")
 	scale := flag.Int("scale", 10000, "demo fact-table rows")
 	maxRows := flag.Int("maxrows", 20, "maximum result rows to print")
+	timeout := flag.Duration("timeout", 0, "per-query execution timeout (0 = none)")
+	limit := flag.Int("limit", 0, "per-query row-materialization budget (0 = unlimited)")
+	allowStale := flag.Bool("allow-stale", false, "let queries read summary tables marked stale")
 	flag.Parse()
 
 	sh := &shell{
@@ -54,9 +60,10 @@ func main() {
 		store:   storage.NewStore(),
 		out:     os.Stdout,
 		maxRows: *maxRows,
+		limits:  exec.Limits{MaxRows: *limit, Timeout: *timeout},
 	}
 	sh.engine = exec.NewEngine(sh.store)
-	sh.rw = core.NewRewriter(sh.cat, core.Options{})
+	sh.rw = core.NewRewriter(sh.cat, core.Options{AllowStale: *allowStale})
 
 	if *demo {
 		workload.Schema(sh.cat)
@@ -340,12 +347,12 @@ func (sh *shell) query(s *parser.SelectStmt, explainOnly bool) error {
 	if err != nil {
 		return err
 	}
-	res := sh.rw.RewriteBest(g, sh.asts)
-	if res != nil {
-		fmt.Fprintf(sh.out, "-- rewritten to read summary table %s:\n--   %s\n", res.AST.Def.Name, g.SQL())
-	} else if len(sh.asts) > 0 {
-		fmt.Fprintln(sh.out, "-- no summary table matches; executing against base tables")
-		if explainOnly {
+	if explainOnly {
+		plan, res := sh.rw.RewriteOrFallback(context.Background(), g, sh.asts)
+		if res != nil {
+			fmt.Fprintf(sh.out, "-- rewritten to read summary table %s:\n--   %s\n", res.AST.Def.Name, plan.SQL())
+		} else if len(sh.asts) > 0 {
+			fmt.Fprintln(sh.out, "-- no summary table matches; executing against base tables")
 			// Show why each summary table was rejected.
 			for _, ca := range sh.asts {
 				gx, err := qgm.Build(s, sh.cat)
@@ -362,17 +369,38 @@ func (sh *shell) query(s *parser.SelectStmt, explainOnly bool) error {
 				}
 			}
 		}
-	}
-	if explainOnly {
+		sh.reportDegradations()
 		return nil
 	}
-	result, err := sh.engine.Run(g)
+	ans, err := resilient.Query(context.Background(), sh.engine, sh.rw, g, sh.asts, sh.limits)
 	if err != nil {
+		sh.reportDegradations()
 		return err
 	}
-	exec.SortRows(result.Rows)
-	sh.printResult(result)
+	switch {
+	case ans.FellBack:
+		name := "?"
+		if ans.Rewrite != nil {
+			name = ans.Rewrite.AST.Def.Name
+		}
+		fmt.Fprintf(sh.out, "-- summary table %s unusable at execution time; answered from base tables\n", name)
+	case ans.Rewrite != nil:
+		fmt.Fprintf(sh.out, "-- rewritten to read summary table %s:\n--   %s\n", ans.Rewrite.AST.Def.Name, ans.Plan.SQL())
+	case len(sh.asts) > 0:
+		fmt.Fprintln(sh.out, "-- no summary table matches; executing against base tables")
+	}
+	sh.reportDegradations()
+	exec.SortRows(ans.Result.Rows)
+	sh.printResult(ans.Result)
 	return nil
+}
+
+// reportDegradations surfaces recovered failures (match panics, unusable
+// candidates) as comments so degraded service is visible, not silent.
+func (sh *shell) reportDegradations() {
+	for _, d := range sh.rw.Degradations() {
+		fmt.Fprintf(sh.out, "-- degraded: %v\n", d)
+	}
 }
 
 func (sh *shell) printResult(r *exec.Result) {

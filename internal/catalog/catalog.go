@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sqltypes"
 )
@@ -94,17 +95,32 @@ type ASTDef struct {
 	SQL  string
 }
 
-// Catalog is the metadata store. It is not safe for concurrent mutation; the
-// read path (lookups) is safe once populated.
+// Catalog is the metadata store. Schema mutation (AddTable, RegisterAST, …)
+// is not safe for concurrent use; the read path (lookups) is safe once
+// populated. AST freshness state is mutex-guarded separately, so maintenance
+// may mark ASTs stale/fresh while rewrites consult Usable concurrently.
 type Catalog struct {
 	tables map[string]*Table
 	fks    []ForeignKey
 	asts   []ASTDef
+
+	statusMu        sync.Mutex
+	status          map[string]*ASTStatus
+	quarantineAfter int
 }
+
+// DefaultQuarantineThreshold is the number of consecutive refresh failures
+// after which an AST is quarantined (circuit broken) until a successful full
+// recompute.
+const DefaultQuarantineThreshold = 3
 
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{
+		tables:          make(map[string]*Table),
+		status:          make(map[string]*ASTStatus),
+		quarantineAfter: DefaultQuarantineThreshold,
+	}
 }
 
 // AddTable registers a table schema. It returns an error on duplicate names
@@ -290,4 +306,109 @@ func (c *Catalog) UnregisterAST(name string) {
 		}
 	}
 	c.asts = out
+	c.statusMu.Lock()
+	delete(c.status, name)
+	c.statusMu.Unlock()
+}
+
+// ASTStatus is the runtime freshness state of one AST. The zero value means
+// "fresh, never refreshed": usable, epoch 0.
+type ASTStatus struct {
+	// Epoch counts successful refreshes; maintenance bumps it so readers can
+	// detect that the materialization advanced.
+	Epoch int64
+	// Stale marks a materialization that no longer reflects the base tables
+	// (a failed or partial refresh). The rewriter refuses stale ASTs unless
+	// Options.AllowStale.
+	Stale bool
+	// Quarantined is the tripped circuit breaker: the AST saw too many
+	// consecutive refresh failures and is excluded from rewriting until a
+	// successful full recompute clears it.
+	Quarantined bool
+	// Failures counts consecutive refresh failures since the last success.
+	Failures int
+}
+
+// SetQuarantineThreshold overrides the consecutive-failure count that trips
+// the circuit breaker. n <= 0 restores the default.
+func (c *Catalog) SetQuarantineThreshold(n int) {
+	c.statusMu.Lock()
+	defer c.statusMu.Unlock()
+	if n <= 0 {
+		n = DefaultQuarantineThreshold
+	}
+	c.quarantineAfter = n
+}
+
+// Status returns a copy of the AST's freshness state (zero value when the
+// AST was never refreshed or marked).
+func (c *Catalog) Status(name string) ASTStatus {
+	c.statusMu.Lock()
+	defer c.statusMu.Unlock()
+	if st := c.status[strings.ToLower(name)]; st != nil {
+		return *st
+	}
+	return ASTStatus{}
+}
+
+func (c *Catalog) statusFor(name string) *ASTStatus {
+	name = strings.ToLower(name)
+	st := c.status[name]
+	if st == nil {
+		st = &ASTStatus{}
+		c.status[name] = st
+	}
+	return st
+}
+
+// MarkFresh records a successful refresh: bumps the epoch, clears staleness
+// and quarantine, and resets the failure counter. A successful full
+// recompute is the only way out of quarantine.
+func (c *Catalog) MarkFresh(name string) {
+	c.statusMu.Lock()
+	defer c.statusMu.Unlock()
+	st := c.statusFor(name)
+	st.Epoch++
+	st.Stale = false
+	st.Quarantined = false
+	st.Failures = 0
+}
+
+// MarkStale flags the AST's materialization as out of date without counting
+// a refresh failure (used when a read of the materialized table fails, or a
+// base insert lands without the AST being refreshed).
+func (c *Catalog) MarkStale(name string) {
+	c.statusMu.Lock()
+	defer c.statusMu.Unlock()
+	c.statusFor(name).Stale = true
+}
+
+// RecordRefreshFailure marks the AST stale, increments its consecutive
+// failure count, and trips the quarantine breaker when the threshold is
+// reached. It returns the updated status.
+func (c *Catalog) RecordRefreshFailure(name string) ASTStatus {
+	c.statusMu.Lock()
+	defer c.statusMu.Unlock()
+	st := c.statusFor(name)
+	st.Stale = true
+	st.Failures++
+	if st.Failures >= c.quarantineAfter {
+		st.Quarantined = true
+	}
+	return *st
+}
+
+// Usable reports whether the rewriter may route queries to the AST:
+// quarantined ASTs never, stale ASTs only when the caller allows staleness.
+func (c *Catalog) Usable(name string, allowStale bool) bool {
+	c.statusMu.Lock()
+	defer c.statusMu.Unlock()
+	st := c.status[strings.ToLower(name)]
+	if st == nil {
+		return true
+	}
+	if st.Quarantined {
+		return false
+	}
+	return allowStale || !st.Stale
 }

@@ -166,3 +166,91 @@ func TestTablesSorted(t *testing.T) {
 		t.Error("drop failed")
 	}
 }
+
+func TestASTStatusLifecycle(t *testing.T) {
+	c := New()
+	c.MustRegisterAST(ASTDef{Name: "a1", SQL: "select 1"})
+
+	if st := c.Status("a1"); st != (ASTStatus{}) {
+		t.Fatalf("fresh AST has non-zero status: %+v", st)
+	}
+	if !c.Usable("a1", false) {
+		t.Fatal("never-refreshed AST should be usable")
+	}
+
+	c.MarkStale("A1") // case-insensitive
+	if c.Usable("a1", false) {
+		t.Fatal("stale AST usable with AllowStale=false")
+	}
+	if !c.Usable("a1", true) {
+		t.Fatal("stale AST not usable with AllowStale=true")
+	}
+
+	c.MarkFresh("a1")
+	st := c.Status("a1")
+	if st.Stale || st.Epoch != 1 || st.Failures != 0 {
+		t.Fatalf("after MarkFresh: %+v", st)
+	}
+	c.MarkFresh("a1")
+	if got := c.Status("a1").Epoch; got != 2 {
+		t.Fatalf("epoch = %d, want 2", got)
+	}
+}
+
+func TestQuarantineCircuitBreaker(t *testing.T) {
+	c := New()
+	c.SetQuarantineThreshold(2)
+	for i := 0; i < 1; i++ {
+		st := c.RecordRefreshFailure("q")
+		if st.Quarantined {
+			t.Fatalf("quarantined after %d failures (threshold 2)", i+1)
+		}
+	}
+	st := c.RecordRefreshFailure("q")
+	if !st.Quarantined || st.Failures != 2 || !st.Stale {
+		t.Fatalf("after threshold failures: %+v", st)
+	}
+	// Quarantine ignores AllowStale.
+	if c.Usable("q", true) {
+		t.Fatal("quarantined AST should never be usable")
+	}
+	// A successful refresh is the only way out.
+	c.MarkFresh("q")
+	st = c.Status("q")
+	if st.Quarantined || st.Stale || st.Failures != 0 || st.Epoch != 1 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+	if !c.Usable("q", false) {
+		t.Fatal("recovered AST should be usable")
+	}
+}
+
+func TestStatusConcurrentAccess(t *testing.T) {
+	c := New()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				c.MarkStale("x")
+				c.RecordRefreshFailure("x")
+				c.MarkFresh("x")
+				c.Usable("x", false)
+				c.Status("x")
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}
+
+func TestUnregisterASTClearsStatus(t *testing.T) {
+	c := New()
+	c.MustRegisterAST(ASTDef{Name: "gone", SQL: "select 1"})
+	c.MarkStale("gone")
+	c.UnregisterAST("gone")
+	if st := c.Status("gone"); st.Stale {
+		t.Fatalf("status survived unregister: %+v", st)
+	}
+}

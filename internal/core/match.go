@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,6 +48,11 @@ type Options struct {
 	// Trace records a decision log (TraceEntry per candidate pair) for
 	// EXPLAIN-style diagnostics.
 	Trace bool
+
+	// AllowStale lets the rewriter use ASTs whose materialization is marked
+	// stale in the catalog (e.g. after a failed refresh). Quarantined ASTs
+	// are never used regardless. Default false: staleness disables an AST.
+	AllowStale bool
 }
 
 // Match records an established subsumption relationship between a query box
@@ -171,6 +177,14 @@ func (m *Matcher) accept(match *Match) *Match {
 // matches whose subsumer is the AST's root box, i.e. the points where the
 // whole AST can be substituted into the query.
 func (m *Matcher) Run() []*Match {
+	return m.RunCtx(context.Background())
+}
+
+// RunCtx is Run bounded by a context: when the context expires mid-search the
+// navigator stops and returns the root matches established so far (matching
+// is best-effort — a truncated search costs rewrite opportunities, never
+// correctness).
+func (m *Matcher) RunCtx(ctx context.Context) []*Match {
 	eParents := m.eg.Parents()
 	rParents := m.rg.Parents()
 
@@ -191,7 +205,13 @@ func (m *Matcher) Run() []*Match {
 		}
 	}
 
+	done := ctx.Done()
 	for len(queue) > 0 {
+		select {
+		case <-done:
+			return m.rootMatches()
+		default:
+		}
 		p := queue[0]
 		queue = queue[1:]
 		delete(inQueue, pairKey{p.e.ID, p.r.ID})
@@ -211,6 +231,12 @@ func (m *Matcher) Run() []*Match {
 		}
 	}
 
+	return m.rootMatches()
+}
+
+// rootMatches collects the established matches whose subsumer is the AST's
+// root box, in deterministic order.
+func (m *Matcher) rootMatches() []*Match {
 	var out []*Match
 	for k, match := range m.memo {
 		if k.r == m.rg.Root.ID {

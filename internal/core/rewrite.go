@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/faultinject"
 	"repro/internal/parser"
 	"repro/internal/qgm"
 )
@@ -17,10 +21,16 @@ type CompiledAST struct {
 }
 
 // Rewriter rewrites queries to read ASTs instead of base tables. It holds no
-// per-query state; one Rewriter serves many rewrites.
+// per-query state; one Rewriter serves many rewrites. Matching is
+// best-effort: a panic inside one candidate's match attempt is recovered,
+// recorded, and treated as "no match", so a single broken AST can cost
+// rewrite opportunities but never the query.
 type Rewriter struct {
 	cat  *catalog.Catalog
 	opts Options
+
+	mu       sync.Mutex
+	degraded []error
 }
 
 // NewRewriter returns a rewriter over the catalog with the given options.
@@ -46,17 +56,76 @@ func (rw *Rewriter) CompileAST(def catalog.ASTDef) (*CompiledAST, error) {
 	return &CompiledAST{Def: def, Graph: g, Table: g.Root.OutputTable(def.Name)}, nil
 }
 
-// CompileAll compiles every AST registered in the catalog.
+// CompileAll compiles every AST registered in the catalog. A definition that
+// fails to compile is skipped, not fatal: the successfully compiled ASTs are
+// always returned, alongside a joined error carrying one entry per broken
+// definition (nil when all compiled). Callers should use the returned slice
+// even when err != nil.
 func (rw *Rewriter) CompileAll() ([]*CompiledAST, error) {
 	var out []*CompiledAST
+	var errs []error
 	for _, def := range rw.cat.ASTs() {
 		ca, err := rw.CompileAST(def)
 		if err != nil {
-			return nil, err
+			errs = append(errs, err)
+			continue
 		}
 		out = append(out, ca)
 	}
-	return out, nil
+	return out, errors.Join(errs...)
+}
+
+// MatchPanicError records a panic recovered during one AST's match attempt.
+type MatchPanicError struct {
+	AST   string
+	Value any
+}
+
+func (e *MatchPanicError) Error() string {
+	return fmt.Sprintf("core: match against AST %q panicked: %v", e.AST, e.Value)
+}
+
+// noteDegraded records a degradation event for later inspection.
+func (rw *Rewriter) noteDegraded(err error) {
+	rw.mu.Lock()
+	rw.degraded = append(rw.degraded, err)
+	rw.mu.Unlock()
+}
+
+// Degradations drains and returns the degradation events (recovered match
+// panics, discarded invalid rewrites) recorded since the last call.
+func (rw *Rewriter) Degradations() []error {
+	rw.mu.Lock()
+	out := rw.degraded
+	rw.degraded = nil
+	rw.mu.Unlock()
+	return out
+}
+
+// usable reports whether an AST may serve rewrites right now: quarantined
+// ASTs never, stale ones only under Options.AllowStale.
+func (rw *Rewriter) usable(ast *CompiledAST) bool {
+	return rw.cat.Usable(ast.Def.Name, rw.opts.AllowStale)
+}
+
+// safeMatches runs the matcher for one candidate AST, converting a panic in
+// the match machinery (or an injected fault at "core.match:<name>") into "no
+// matches", so the rewrite moves on to the next candidate or the base plan.
+// Compensation boxes allocated before a panic are unreachable from the query
+// root and therefore inert.
+func (rw *Rewriter) safeMatches(ctx context.Context, query *qgm.Graph, ast *CompiledAST) (out []*Match) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			rw.noteDegraded(&MatchPanicError{AST: ast.Def.Name, Value: r})
+		}
+	}()
+	if err := faultinject.Hit("core.match:" + ast.Def.Name); err != nil {
+		rw.noteDegraded(err)
+		return nil
+	}
+	matcher := NewMatcher(rw.cat, query, ast.Graph, rw.opts)
+	return matcher.RunCtx(ctx)
 }
 
 // Result describes one successful rewrite.
@@ -69,11 +138,15 @@ type Result struct {
 // Rewrite attempts to rewrite the query graph to read the given AST. On
 // success it splices the AST's materialized table plus the compensation into
 // the graph (mutating it) and returns a Result; it returns nil when no match
-// exists. When several query boxes match the AST's root, the highest
-// (largest-subtree) one is replaced, maximizing the work the AST absorbs.
+// exists, when the AST is stale/quarantined, or when matching panicked
+// (recovered and recorded). When several query boxes match the AST's root,
+// the highest (largest-subtree) one is replaced, maximizing the work the AST
+// absorbs.
 func (rw *Rewriter) Rewrite(query *qgm.Graph, ast *CompiledAST) *Result {
-	matcher := NewMatcher(rw.cat, query, ast.Graph, rw.opts)
-	matches := matcher.Run()
+	if !rw.usable(ast) {
+		return nil
+	}
+	matches := rw.safeMatches(context.Background(), query, ast)
 	if len(matches) == 0 {
 		return nil
 	}
@@ -93,7 +166,16 @@ func (rw *Rewriter) Rewrite(query *qgm.Graph, ast *CompiledAST) *Result {
 // RewriteBest tries every compiled AST and applies the one matching the
 // highest query box; it returns nil when none match. (The paper routes a
 // query towards multiple ASTs by iterating; RewriteBest is one iteration.)
+// Stale and quarantined ASTs are skipped; a candidate whose match attempt
+// panics is skipped (recovered and recorded), never fatal.
 func (rw *Rewriter) RewriteBest(query *qgm.Graph, asts []*CompiledAST) *Result {
+	return rw.RewriteBestCtx(context.Background(), query, asts)
+}
+
+// RewriteBestCtx is RewriteBest bounded by a context; when the context
+// expires, matching stops and whatever best candidate was established so far
+// is applied (or none).
+func (rw *Rewriter) RewriteBestCtx(ctx context.Context, query *qgm.Graph, asts []*CompiledAST) *Result {
 	type cand struct {
 		ast *CompiledAST
 		mm  *Match
@@ -101,8 +183,10 @@ func (rw *Rewriter) RewriteBest(query *qgm.Graph, asts []*CompiledAST) *Result {
 	heights := boxHeights(query)
 	var best *cand
 	for _, ast := range asts {
-		matcher := NewMatcher(rw.cat, query, ast.Graph, rw.opts)
-		for _, mm := range matcher.Run() {
+		if !rw.usable(ast) {
+			continue
+		}
+		for _, mm := range rw.safeMatches(ctx, query, ast) {
 			if best == nil || heights[mm.Subsumee.ID] > heights[best.mm.Subsumee.ID] {
 				best = &cand{ast: ast, mm: mm}
 			}
@@ -113,6 +197,25 @@ func (rw *Rewriter) RewriteBest(query *qgm.Graph, asts []*CompiledAST) *Result {
 	}
 	rw.splice(query, best.ast, best.mm)
 	return &Result{AST: best.ast, Match: best.mm, Replaced: best.mm.Subsumee}
+}
+
+// RewriteOrFallback is the resilient rewrite entry point: it always returns
+// a runnable graph. It attempts the best rewrite on a clone of the query; if
+// no usable AST matches, matching panics, or the rewritten graph fails
+// validation, the original graph is returned untouched with a nil Result.
+// The input graph is never mutated, so callers can re-run it as the base
+// plan if executing the rewritten plan later fails.
+func (rw *Rewriter) RewriteOrFallback(ctx context.Context, query *qgm.Graph, asts []*CompiledAST) (*qgm.Graph, *Result) {
+	clone := query.Clone()
+	res := rw.RewriteBestCtx(ctx, clone, asts)
+	if res == nil {
+		return query, nil
+	}
+	if err := clone.Validate(); err != nil {
+		rw.noteDegraded(fmt.Errorf("core: discarding invalid rewrite against %q: %w", res.AST.Def.Name, err))
+		return query, nil
+	}
+	return clone, res
 }
 
 // Explain runs the matcher with tracing enabled (without rewriting) and
@@ -148,8 +251,10 @@ func (rw *Rewriter) RewriteBestCost(query *qgm.Graph, asts []*CompiledAST, sizer
 	}
 	var best *cand
 	for _, ast := range asts {
-		matcher := NewMatcher(rw.cat, query, ast.Graph, rw.opts)
-		for _, mm := range matcher.Run() {
+		if !rw.usable(ast) {
+			continue
+		}
+		for _, mm := range rw.safeMatches(context.Background(), query, ast) {
 			gain := rw.costGain(mm, ast, sizer)
 			if gain <= 0 {
 				continue

@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,9 +40,27 @@ func NewEngine(store *storage.Store) *Engine {
 	return &Engine{store: store}
 }
 
-// Run evaluates the graph and returns its result.
+// Run evaluates the graph with no budget and returns its result.
 func (e *Engine) Run(g *qgm.Graph) (*Result, error) {
-	ev := &evaluator{store: e.store, memo: map[int][][]sqltypes.Value{}}
+	return e.RunCtx(context.Background(), g, Limits{})
+}
+
+// RunCtx evaluates the graph under a context and a resource budget. It
+// returns an error wrapping ErrCanceled when the context (or Limits.Timeout)
+// expires mid-run and one wrapping ErrBudgetExceeded when the run
+// materializes more than Limits.MaxRows rows.
+func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Limits) (*Result, error) {
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
+		defer cancel()
+	}
+	ev := &evaluator{
+		store:   e.store,
+		memo:    map[int][][]sqltypes.Value{},
+		ctx:     ctx,
+		maxRows: lim.MaxRows,
+	}
 	rows, err := ev.evalBox(g.Root)
 	if err != nil {
 		return nil, err
@@ -65,21 +84,33 @@ func (e *Engine) MustRun(g *qgm.Graph) *Result {
 type evaluator struct {
 	store *storage.Store
 	memo  map[int][][]sqltypes.Value
+
+	ctx      context.Context
+	maxRows  int // 0 = unlimited
+	rowsUsed int
+	polls    int
 }
 
 func (ev *evaluator) evalBox(b *qgm.Box) ([][]sqltypes.Value, error) {
 	if rows, ok := ev.memo[b.ID]; ok {
 		return rows, nil
 	}
+	if err := ev.pollCtx(); err != nil {
+		return nil, err
+	}
 	var rows [][]sqltypes.Value
 	var err error
 	switch b.Kind {
 	case qgm.BaseTableBox:
-		td, ok := ev.store.Table(b.Table.Name)
-		if !ok {
-			return nil, fmt.Errorf("exec: table %q not loaded", b.Table.Name)
+		rows, err = ev.store.Scan(b.Table.Name)
+		if err == nil {
+			err = ev.checkpoint(len(rows))
 		}
-		rows = td.Rows
+		if err == nil {
+			// Poll unconditionally after a scan: a slow storage layer must
+			// surface the deadline here, not rows later in a join loop.
+			err = ev.pollCtx()
+		}
 	case qgm.SelectBox:
 		rows, err = ev.evalSelect(b)
 	case qgm.GroupByBox:
@@ -188,6 +219,9 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 			out := make([]*binding, 0, len(bindings)*max(1, len(childRows)))
 			for _, bd := range bindings {
 				for _, r := range childRows {
+					if err := ev.checkpoint(1); err != nil {
+						return nil, err
+					}
 					nb := &binding{
 						qids: append(append([]int(nil), bd.qids...), next.ID),
 						rows: append(append([][]sqltypes.Value(nil), bd.rows...), r),
@@ -215,6 +249,9 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 
 	out := make([][]sqltypes.Value, 0, len(bindings))
 	for _, bd := range bindings {
+		if err := ev.checkpoint(1); err != nil {
+			return nil, err
+		}
 		row := make([]sqltypes.Value, len(b.Cols))
 		for i, c := range b.Cols {
 			v, err := ectx.evalScalar(c.Expr, bd)
@@ -356,6 +393,9 @@ func (ev *evaluator) hashJoin(bindings []*binding, next *qgm.Quantifier, childRo
 			continue
 		}
 		for _, r := range table[sb.String()] {
+			if err := ev.checkpoint(1); err != nil {
+				return nil, err
+			}
 			nb := &binding{
 				qids: append(append([]int(nil), bd.qids...), next.ID),
 				rows: append(append([][]sqltypes.Value(nil), bd.rows...), r),

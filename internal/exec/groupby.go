@@ -47,6 +47,9 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 	groupVals := make([][]sqltypes.Value, len(childRows)) // per row: grouping col values, in GroupBy order
 	argVals := make([][]sqltypes.Value, len(childRows))   // per row: aggregate argument values
 	for ri, r := range childRows {
+		if err := ev.checkpoint(1); err != nil {
+			return nil, err
+		}
 		bd.rows[0] = r
 		gv := make([]sqltypes.Value, nGroup)
 		for pos, col := range b.GroupBy {
@@ -99,6 +102,9 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 		groups := map[string]*groupState{}
 		var order []string
 		for ri := range childRows {
+			if err := ev.checkpoint(0); err != nil {
+				return nil, err
+			}
 			var sb strings.Builder
 			for _, pos := range gs {
 				sb.WriteString(groupVals[ri][pos].GroupKey())
@@ -119,6 +125,9 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 			}
 		}
 		for _, k := range order {
+			if err := ev.checkpoint(1); err != nil {
+				return nil, err
+			}
 			g := groups[k]
 			row := make([]sqltypes.Value, len(b.Cols))
 			for pos, col := range b.GroupBy {

@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Limits bounds one engine run. The zero value means unlimited — Run uses it.
+type Limits struct {
+	// MaxRows caps the rows the run may materialize, summed over every
+	// operator (scans, join outputs, group outputs). It bounds memory and
+	// work for runaway plans (e.g. an accidental cross join), not just the
+	// final result size.
+	MaxRows int
+	// Timeout is the wall-clock budget for the run; it is applied on top of
+	// whatever deadline the caller's context already carries.
+	Timeout time.Duration
+}
+
+// ErrBudgetExceeded is returned (wrapped) when a run materializes more than
+// Limits.MaxRows rows.
+var ErrBudgetExceeded = errors.New("exec: row budget exceeded")
+
+// ErrCanceled is returned (wrapped) when the run's context is canceled or
+// its deadline — including Limits.Timeout — expires.
+var ErrCanceled = errors.New("exec: canceled")
+
+// pollEvery gates context polling in hot loops: the evaluator checks
+// ctx.Done() once per this many checkpoint calls (plus once per box).
+const pollEvery = 256
+
+// checkpoint charges n materialized rows against the budget and periodically
+// polls the context. Every loop that produces or consumes rows calls it.
+func (ev *evaluator) checkpoint(n int) error {
+	ev.rowsUsed += n
+	if ev.maxRows > 0 && ev.rowsUsed > ev.maxRows {
+		return fmt.Errorf("%w: materialized %d rows, limit %d", ErrBudgetExceeded, ev.rowsUsed, ev.maxRows)
+	}
+	ev.polls++
+	if ev.polls%pollEvery == 0 {
+		return ev.pollCtx()
+	}
+	return nil
+}
+
+// pollCtx reports a typed cancellation error when the run's context is done.
+func (ev *evaluator) pollCtx() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	select {
+	case <-ev.ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ev.ctx))
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/qgm"
+)
+
+// buildTestGraph compiles SQL over the star-schema fixture (exec_test.go).
+func buildTestGraph(t *testing.T, sql string) (*Engine, *qgm.Graph) {
+	t.Helper()
+	cat, _, e := fixture(t, 200)
+	g, err := qgm.BuildSQL(sql, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, g
+}
+
+func TestRunCtxNoLimitsMatchesRun(t *testing.T) {
+	e, g := buildTestGraph(t, "select flid, count(*) as c from trans group by flid")
+	want, err := e.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.RunCtx(context.Background(), g, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := EqualResults(want, got); diff != "" {
+		t.Fatalf("RunCtx differs from Run: %s", diff)
+	}
+}
+
+func TestMaxRowsBudget(t *testing.T) {
+	// A cross join of trans with itself materializes n^2 bindings; a tiny
+	// budget must trip long before that.
+	e, g := buildTestGraph(t, "select a.tid as t1 from trans a, trans b")
+	_, err := e.RunCtx(context.Background(), g, Limits{MaxRows: 500})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	// A generous budget succeeds.
+	if _, err := e.RunCtx(context.Background(), g, Limits{MaxRows: 1 << 20}); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	e, g := buildTestGraph(t, "select flid, count(*) as c from trans group by flid")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.RunCtx(ctx, g, Limits{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestTimeoutWithSlowScan(t *testing.T) {
+	faultinject.Enable(1)
+	defer faultinject.Disable()
+	faultinject.Set("storage.scan:trans", faultinject.Fault{Delay: 100 * time.Millisecond})
+
+	e, g := buildTestGraph(t, "select tid from trans")
+	_, err := e.RunCtx(context.Background(), g, Limits{Timeout: 10 * time.Millisecond})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled from timeout, got %v", err)
+	}
+}
+
+func TestInjectedScanError(t *testing.T) {
+	faultinject.Enable(1)
+	defer faultinject.Disable()
+	faultinject.Set("storage.scan:trans", faultinject.Err("storage.scan:trans"))
+
+	e, g := buildTestGraph(t, "select tid from trans")
+	if _, err := e.Run(g); err == nil {
+		t.Fatal("injected scan error did not surface")
+	}
+}

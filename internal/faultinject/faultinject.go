@@ -1,0 +1,156 @@
+// Package faultinject provides deterministic fault injection for resilience
+// testing. Production code calls Hit at named sites ("storage.scan:trans",
+// "maintain.full:ast1", "core.match:ast1"); tests arm sites with faults —
+// returned errors, panics, or delays — and assert that the pipeline degrades
+// gracefully instead of failing the query.
+//
+// The registry is disabled by default: Hit is a single atomic load on the hot
+// path, so leaving the calls compiled into release binaries costs nothing
+// measurable. Probabilistic faults draw from an RNG seeded by Enable, making
+// chaos runs reproducible.
+//
+// Site names are hierarchical: "storage.scan:trans" is matched first exactly,
+// then by its "storage.scan" prefix, so a test can arm one table's scan or
+// every scan with a single Set call.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what happens when an armed site is hit. Delay applies
+// first, then Panic (if set), then Err.
+type Fault struct {
+	Err   error         // error returned from Hit
+	Panic any           // value to panic with; takes precedence over Err
+	Delay time.Duration // sleep before panicking/returning
+	Prob  float64       // firing probability per hit; <=0 or >=1 means always
+	Times int           // fire at most this many times; 0 means unlimited
+}
+
+type armed struct {
+	Fault
+	hits  int
+	fired int
+}
+
+var (
+	active atomic.Bool // fast-path gate; true only between Enable and Disable
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]*armed
+)
+
+// Enable arms the registry. The seed drives probabilistic faults so chaos
+// runs replay deterministically. Tests should defer Disable().
+func Enable(seed int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	rng = rand.New(rand.NewSource(seed))
+	sites = make(map[string]*armed)
+	active.Store(true)
+}
+
+// Disable clears all armed sites and restores the zero-cost fast path.
+func Disable() {
+	mu.Lock()
+	defer mu.Unlock()
+	active.Store(false)
+	rng = nil
+	sites = nil
+}
+
+// Set arms a site (or a site prefix, see package comment). It panics when the
+// registry is not enabled — arming faults outside a chaos test is a bug.
+func Set(site string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		panic("faultinject: Set called before Enable")
+	}
+	sites[site] = &armed{Fault: f}
+}
+
+// Clear disarms one site.
+func Clear(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites != nil {
+		delete(sites, site)
+	}
+}
+
+// Err is a convenience constructor for an always-firing error fault.
+func Err(site string) Fault {
+	return Fault{Err: fmt.Errorf("faultinject: injected error at %s", site)}
+}
+
+// Hit is called from production injection points. When the site (or its
+// prefix up to the first ':') is armed it sleeps Fault.Delay, panics with
+// Fault.Panic when set, and returns Fault.Err. Disabled registries return nil
+// after one atomic load.
+func Hit(site string) error {
+	if !active.Load() {
+		return nil
+	}
+	mu.Lock()
+	a := sites[site]
+	if a == nil {
+		if i := strings.IndexByte(site, ':'); i > 0 {
+			a = sites[site[:i]]
+		}
+	}
+	if a == nil {
+		mu.Unlock()
+		return nil
+	}
+	a.hits++
+	if a.Times > 0 && a.fired >= a.Times {
+		mu.Unlock()
+		return nil
+	}
+	if a.Prob > 0 && a.Prob < 1 && rng.Float64() >= a.Prob {
+		mu.Unlock()
+		return nil
+	}
+	a.fired++
+	f := a.Fault
+	mu.Unlock()
+
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	return f.Err
+}
+
+// Fired reports how many times a site actually fired (not just matched).
+func Fired(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if a := sites[site]; a != nil {
+		return a.fired
+	}
+	return 0
+}
+
+// Sites returns the armed site names in sorted order.
+func Sites() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	if err := Hit("storage.scan:trans"); err != nil {
+		t.Fatalf("disabled registry returned %v", err)
+	}
+}
+
+func TestExactAndPrefixMatch(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	boom := errors.New("boom")
+	Set("storage.scan", Fault{Err: boom})
+	if err := Hit("storage.scan:trans"); !errors.Is(err, boom) {
+		t.Fatalf("prefix match: got %v", err)
+	}
+	if err := Hit("storage.scan"); !errors.Is(err, boom) {
+		t.Fatalf("exact match: got %v", err)
+	}
+	if err := Hit("maintain.full:x"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	// An exact entry wins over the prefix entry.
+	ok := errors.New("specific")
+	Set("storage.scan:loc", Fault{Err: ok})
+	if err := Hit("storage.scan:loc"); !errors.Is(err, ok) {
+		t.Fatalf("exact should win over prefix: got %v", err)
+	}
+}
+
+func TestTimesBudget(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	boom := errors.New("boom")
+	Set("s", Fault{Err: boom, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := Hit("s"); !errors.Is(err, boom) {
+			t.Fatalf("fire %d: got %v", i, err)
+		}
+	}
+	if err := Hit("s"); err != nil {
+		t.Fatalf("exhausted fault still fired: %v", err)
+	}
+	if got := Fired("s"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestProbabilisticIsDeterministic(t *testing.T) {
+	run := func() int {
+		Enable(42)
+		defer Disable()
+		Set("p", Fault{Err: errors.New("x"), Prob: 0.3})
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if Hit("p") != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different firing counts: %d vs %d", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("firing count %d far from Prob=0.3 over 1000 hits", a)
+	}
+}
+
+func TestPanicAndDelay(t *testing.T) {
+	Enable(1)
+	defer Disable()
+	Set("pan", Fault{Panic: "injected"})
+	func() {
+		defer func() {
+			if r := recover(); r != "injected" {
+				t.Fatalf("recover = %v", r)
+			}
+		}()
+		Hit("pan")
+		t.Fatal("Hit did not panic")
+	}()
+
+	Set("slow", Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatalf("delay-only fault returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay not applied: %v", d)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	Enable(7)
+	defer Disable()
+	Set("c", Fault{Err: errors.New("e"), Prob: 0.5})
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 500; j++ {
+				Hit("c")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

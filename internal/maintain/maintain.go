@@ -14,12 +14,15 @@
 package maintain
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/qgm"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
@@ -59,15 +62,47 @@ type Plan struct {
 	baseTabs map[string]bool // base tables the definition reads
 }
 
-// Maintainer refreshes materialized ASTs after base-table inserts.
+// Maintainer refreshes materialized ASTs after base-table inserts. Refresh
+// failures are per-AST, never fatal to the maintenance pass: a failed
+// incremental refresh falls back to full recomputation, and a failed full
+// recomputation marks the AST stale in the attached catalog (counting toward
+// its quarantine circuit breaker) while the remaining ASTs still refresh.
 type Maintainer struct {
 	store  *storage.Store
 	engine *exec.Engine
+	cat    *catalog.Catalog // optional; enables freshness/quarantine tracking
 }
 
 // New returns a maintainer over the store.
 func New(store *storage.Store) *Maintainer {
 	return &Maintainer{store: store, engine: exec.NewEngine(store)}
+}
+
+// WithCatalog attaches the catalog whose per-AST freshness state this
+// maintainer drives: successful refreshes bump the AST's epoch and clear
+// staleness, failures mark it stale and feed the quarantine breaker. It
+// returns m for chaining.
+func (m *Maintainer) WithCatalog(cat *catalog.Catalog) *Maintainer {
+	m.cat = cat
+	return m
+}
+
+func (m *Maintainer) markFresh(name string) {
+	if m.cat != nil {
+		m.cat.MarkFresh(name)
+	}
+}
+
+func (m *Maintainer) markStale(name string) {
+	if m.cat != nil {
+		m.cat.MarkStale(name)
+	}
+}
+
+func (m *Maintainer) recordFailure(name string) {
+	if m.cat != nil {
+		m.cat.RecordRefreshFailure(name)
+	}
 }
 
 // Analyze classifies an AST as incrementally maintainable or not and builds
@@ -190,11 +225,18 @@ type Stats struct {
 	Merged    int // existing groups updated
 	Added     int // new groups appended
 	Duration  time.Duration
+	Err       error // non-nil when this AST's refresh failed (it is now stale)
 }
 
 // ApplyInsert appends rows to a base table and refreshes every AST whose
 // definition reads it (incrementally where the plan allows). Plans for ASTs
 // not reading the table are skipped with zero-cost stats.
+//
+// Failures degrade per AST instead of aborting: a failed incremental refresh
+// falls back to full recomputation, and a failed full recomputation records
+// the error in that AST's Stats entry, marks it stale in the catalog, and
+// continues with the remaining ASTs. The returned error joins the per-AST
+// failures; the Stats slice is always complete.
 func (m *Maintainer) ApplyInsert(plans []*Plan, table string, rows [][]sqltypes.Value) ([]Stats, error) {
 	table = strings.ToLower(table)
 	td, ok := m.store.Table(table)
@@ -222,27 +264,74 @@ func (m *Maintainer) ApplyInsert(plans []*Plan, table string, rows [][]sqltypes.
 	}
 
 	// Apply the base insert.
-	for _, r := range rows {
+	for ri, r := range rows {
 		if err := td.Insert(r); err != nil {
-			return nil, err
+			// The base table took only part of the batch while incremental
+			// merges above already saw all of it: every affected AST is now
+			// ahead of the base tables. Mark them all stale.
+			for i := range out {
+				m.markStale(out[i].AST)
+				out[i].Err = fmt.Errorf("maintain: base insert aborted at row %d: %w", ri, err)
+			}
+			return out, err
 		}
 	}
 
-	// Full recomputations see the post-insert state.
+	// Full recomputations see the post-insert state; each failure is
+	// recorded per AST and the loop continues.
+	var errs []error
 	for i := range out {
 		if out[i].Strategy == FullRecompute {
-			start := time.Now()
 			p := findPlan(plans, out[i].AST)
-			res, err := m.engine.Run(p.AST.Graph)
+			st, err := m.RefreshFull(p)
+			st.Duration += out[i].Duration
+			out[i] = st
 			if err != nil {
-				return nil, fmt.Errorf("maintain: full refresh of %s: %w", p.AST.Def.Name, err)
+				errs = append(errs, st.Err)
 			}
-			m.store.Put(p.AST.Table, res.Rows)
-			out[i].DeltaRows = len(res.Rows)
-			out[i].Duration += time.Since(start)
+		} else {
+			// Incremental refresh succeeded: the materialization reflects
+			// the post-insert state.
+			m.markFresh(out[i].AST)
 		}
 	}
-	return out, nil
+	return out, errors.Join(errs...)
+}
+
+// RefreshFull recomputes one AST from its definition over the current base
+// tables. On success the AST's catalog status is marked fresh — a successful
+// full recompute is the recovery path out of staleness and quarantine. On
+// failure the AST is marked stale and the failure counts toward quarantine.
+func (m *Maintainer) RefreshFull(p *Plan) (Stats, error) {
+	start := time.Now()
+	st := Stats{AST: p.AST.Def.Name, Strategy: FullRecompute}
+	res, err := m.evalDefinition(p, "maintain.full:"+p.AST.Def.Name)
+	if err != nil {
+		st.Err = fmt.Errorf("maintain: full refresh of %s: %w", p.AST.Def.Name, err)
+		st.Duration = time.Since(start)
+		m.recordFailure(p.AST.Def.Name)
+		return st, st.Err
+	}
+	m.store.Put(p.AST.Table, res.Rows)
+	st.DeltaRows = len(res.Rows)
+	st.Duration = time.Since(start)
+	m.markFresh(p.AST.Def.Name)
+	return st, nil
+}
+
+// evalDefinition runs an AST's defining query with a fault-injection site and
+// panic recovery, so one broken refresh cannot take down the maintenance
+// pass.
+func (m *Maintainer) evalDefinition(p *Plan, site string) (res *exec.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("refresh panicked: %v", r)
+		}
+	}()
+	if err := faultinject.Hit(site); err != nil {
+		return nil, err
+	}
+	return m.engine.Run(p.AST.Graph)
 }
 
 func findPlan(plans []*Plan, name string) *Plan {
@@ -256,19 +345,32 @@ func findPlan(plans []*Plan, name string) *Plan {
 
 // incrementalRefresh computes the delta aggregation over the inserted rows
 // (before they are added to the base table) and merges it into the
-// materialized AST.
-func (m *Maintainer) incrementalRefresh(p *Plan, table string, rows [][]sqltypes.Value) (Stats, error) {
-	st := Stats{AST: p.AST.Def.Name, Strategy: Incremental}
+// materialized AST. A panic anywhere inside (including the engine) is
+// recovered into an error; ApplyInsert then falls back to full
+// recomputation.
+func (m *Maintainer) incrementalRefresh(p *Plan, table string, rows [][]sqltypes.Value) (st Stats, err error) {
+	st = Stats{AST: p.AST.Def.Name, Strategy: Incremental}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("maintain: incremental refresh panicked: %v", r)
+		}
+	}()
+	if err := faultinject.Hit("maintain.incremental:" + p.AST.Def.Name); err != nil {
+		return st, err
+	}
 
 	// Evaluate the definition with the inserted table temporarily replaced by
 	// just the delta rows; other tables keep their current contents. For
 	// insert-only deltas into one table this yields exactly Δ(join) under the
-	// usual delta rule.
+	// usual delta rule. The swap is restored by defer so a panicking
+	// evaluation cannot leave the base table truncated.
 	td := m.store.MustTable(table)
 	saved := td.Rows
 	td.Rows = rows
-	delta, err := m.engine.Run(p.AST.Graph)
-	td.Rows = saved
+	delta, err := func() (*exec.Result, error) {
+		defer func() { td.Rows = saved }()
+		return m.engine.Run(p.AST.Graph)
+	}()
 	if err != nil {
 		return st, fmt.Errorf("maintain: delta eval: %w", err)
 	}

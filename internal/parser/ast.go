@@ -3,6 +3,7 @@ package parser
 import (
 	"fmt"
 	"strings"
+	"unicode"
 
 	"repro/internal/sqltypes"
 )
@@ -166,12 +167,38 @@ func (*CaseExpr) isExpr()     {}
 
 // SQL implementations.
 
+// quoteIdent renders an identifier so it re-lexes to the same token: bare
+// when it already has the shape of an unquoted identifier (which the lexer
+// folds to lower case), double-quoted otherwise (mixed case, spaces,
+// keyword collisions, exotic runes).
+func quoteIdent(s string) string {
+	if plainIdent(s) {
+		return s
+	}
+	return `"` + s + `"`
+}
+
+func plainIdent(s string) bool {
+	if s == "" || strings.ContainsRune(s, '"') || keywords[strings.ToUpper(s)] {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || unicode.IsLower(r):
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // SQL renders the column reference.
 func (c *ColRef) SQL() string {
 	if c.Qualifier != "" {
-		return c.Qualifier + "." + c.Name
+		return quoteIdent(c.Qualifier) + "." + quoteIdent(c.Name)
 	}
-	return c.Name
+	return quoteIdent(c.Name)
 }
 
 // SQL renders the literal.
@@ -193,7 +220,7 @@ func (u *UnaryExpr) SQL() string {
 // SQL renders the call.
 func (f *FuncCall) SQL() string {
 	if f.Star {
-		return f.Name + "(*)"
+		return quoteIdent(f.Name) + "(*)"
 	}
 	args := make([]string, len(f.Args))
 	for i, a := range f.Args {
@@ -203,7 +230,7 @@ func (f *FuncCall) SQL() string {
 	if f.Distinct {
 		d = "DISTINCT "
 	}
-	return f.Name + "(" + d + strings.Join(args, ", ") + ")"
+	return quoteIdent(f.Name) + "(" + d + strings.Join(args, ", ") + ")"
 }
 
 // SQL renders the IS NULL test.
@@ -279,7 +306,7 @@ func (s *SelectStmt) SQL() string {
 		}
 		sb.WriteString(it.Expr.SQL())
 		if it.Alias != "" {
-			sb.WriteString(" AS " + it.Alias)
+			sb.WriteString(" AS " + quoteIdent(it.Alias))
 		}
 	}
 	sb.WriteString(" FROM ")
@@ -325,10 +352,10 @@ func (t *TableRef) SQL() string {
 	if t.Subquery != nil {
 		base = "(" + t.Subquery.SQL() + ")"
 	} else {
-		base = t.Table
+		base = quoteIdent(t.Table)
 	}
 	if t.Alias != "" && t.Alias != t.Table {
-		return base + " AS " + t.Alias
+		return base + " AS " + quoteIdent(t.Alias)
 	}
 	return base
 }

@@ -1,0 +1,50 @@
+package parser
+
+import "testing"
+
+// FuzzParse asserts two robustness properties over arbitrary input:
+//  1. Parse never panics — malformed SQL (e.g. a broken AST definition in the
+//     catalog) must surface as an error the rewriter can skip, never crash
+//     the process.
+//  2. Round-trip stability — whatever parses must print to SQL that parses
+//     back to the identical printed form, so stored AST definitions survive
+//     a parse→print→store→parse cycle unchanged.
+func FuzzParse(f *testing.F) {
+	// Seeds: the paper's AST definitions and example queries, plus edge cases.
+	for _, sql := range []string{
+		`select faid, fpgid, flid, year(date) as year, count(*) as cnt,
+			sum(qty * price * (1 - disc)) as revenue
+			from trans group by faid, fpgid, flid, year(date)`,
+		`select state, year(date) as y, count(*) as c from trans, loc
+			where flid = lid group by state, year(date)`,
+		`select flid, count(*) as cnt from trans where year(date) > 1990 group by flid`,
+		`select country, sum(qty) as q from trans, loc where flid = lid
+			and state = 'CA' group by country having sum(qty) > 10`,
+		`select cname, age from cust where age between 20 and 30 order by cname`,
+		`select a.tid, b.tid from trans a, trans b where a.faid = b.faid`,
+		`select pgname from pgroup where pgname like 'foo%'`,
+		`select faid from trans where faid in (1, 2, 3) and disc is not null`,
+		`select count(distinct faid) as c from trans`,
+		`select * from trans`,
+		`select -1 + 2 * (3 - 4) as x from trans`,
+		"", "select", "select from where", "select 'unterminated",
+		"select ((((1))))", "group by",
+	} {
+		f.Add(sql)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		printed := stmt.SQL()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed SQL does not re-parse: %v\ninput:   %q\nprinted: %q", err, src, printed)
+		}
+		if again := stmt2.SQL(); again != printed {
+			t.Fatalf("print not stable:\nfirst:  %q\nsecond: %q", printed, again)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // TokenKind classifies lexical tokens.
@@ -100,11 +101,26 @@ func (l *lexer) next() (Token, error) {
 	}
 	start := l.pos
 	c := l.src[l.pos]
+	// Decode a full rune: treating bytes as runes would misread a stray
+	// 0xEA as 'ê', admit it into an identifier, and produce a token that the
+	// printer cannot round-trip.
+	r, rlen := utf8.DecodeRuneInString(l.src[l.pos:])
+	if r == utf8.RuneError && rlen == 1 {
+		return Token{}, fmt.Errorf("parser: invalid UTF-8 byte %#02x at offset %d", c, start)
+	}
 
 	switch {
-	case isIdentStart(rune(c)):
-		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-			l.pos++
+	case isIdentStart(r):
+		l.pos += rlen
+		for l.pos < len(l.src) {
+			r2, n := utf8.DecodeRuneInString(l.src[l.pos:])
+			if r2 == utf8.RuneError && n <= 1 {
+				break
+			}
+			if !isIdentPart(r2) {
+				break
+			}
+			l.pos += n
 		}
 		word := l.src[start:l.pos]
 		upper := strings.ToUpper(word)

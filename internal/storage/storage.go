@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/faultinject"
 	"repro/internal/sqltypes"
 )
 
@@ -60,6 +61,20 @@ func (s *Store) MustTable(name string) *TableData {
 		panic(fmt.Sprintf("storage: table %q not loaded", name))
 	}
 	return td
+}
+
+// Scan returns a table's rows for execution. It is the storage-layer fault
+// site ("storage.scan:<table>"): chaos tests inject scan errors and delays
+// here to prove the pipeline answers from base tables anyway.
+func (s *Store) Scan(name string) ([][]sqltypes.Value, error) {
+	td, ok := s.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q not loaded", strings.ToLower(name))
+	}
+	if err := faultinject.Hit("storage.scan:" + td.Meta.Name); err != nil {
+		return nil, fmt.Errorf("storage: scanning %q: %w", td.Meta.Name, err)
+	}
+	return td.Rows, nil
 }
 
 // Insert appends one row after arity-checking it.
