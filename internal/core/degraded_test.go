@@ -1,0 +1,39 @@
+package core
+
+// White-box test for the bounded degradation buffer: an undrained Rewriter
+// facing a persistently broken AST must not grow without bound.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestDegradationsBounded(t *testing.T) {
+	rw := NewRewriter(catalog.New(), Options{})
+	const extra = 37
+	for i := 0; i < maxDegradations+extra; i++ {
+		rw.noteDegraded(fmt.Errorf("event %d", i))
+	}
+
+	got := rw.Degradations()
+	if len(got) != maxDegradations+1 {
+		t.Fatalf("retained %d entries, want %d events plus the drop notice", len(got), maxDegradations)
+	}
+	if want := fmt.Sprintf("%d older degradation events dropped", extra); !strings.Contains(got[0].Error(), want) {
+		t.Fatalf("first entry %q should report %q", got[0], want)
+	}
+	// The newest events survive; the oldest are the ones evicted.
+	if want := fmt.Sprintf("event %d", maxDegradations+extra-1); got[len(got)-1].Error() != want {
+		t.Fatalf("newest event lost: got %q, want %q", got[len(got)-1], want)
+	}
+	if want := fmt.Sprintf("event %d", extra); got[1].Error() != want {
+		t.Fatalf("oldest retained event: got %q, want %q", got[1], want)
+	}
+
+	if rest := rw.Degradations(); len(rest) != 0 {
+		t.Fatalf("drain should reset the buffer and counter: %v", rest)
+	}
+}

@@ -31,7 +31,14 @@ type Rewriter struct {
 
 	mu       sync.Mutex
 	degraded []error
+	dropped  int // degradation events evicted since the last drain
 }
+
+// maxDegradations bounds the degradation events retained between drains. A
+// long-running server with a persistently broken AST degrades on every query;
+// without the cap an undrained Rewriter would leak memory. The newest events
+// are kept (they are the ones worth diagnosing) and evictions are counted.
+const maxDegradations = 128
 
 // NewRewriter returns a rewriter over the catalog with the given options.
 func NewRewriter(cat *catalog.Catalog, opts Options) *Rewriter {
@@ -85,19 +92,31 @@ func (e *MatchPanicError) Error() string {
 	return fmt.Sprintf("core: match against AST %q panicked: %v", e.AST, e.Value)
 }
 
-// noteDegraded records a degradation event for later inspection.
+// noteDegraded records a degradation event for later inspection, evicting the
+// oldest retained event once the buffer holds maxDegradations.
 func (rw *Rewriter) noteDegraded(err error) {
 	rw.mu.Lock()
-	rw.degraded = append(rw.degraded, err)
+	if len(rw.degraded) >= maxDegradations {
+		copy(rw.degraded, rw.degraded[1:])
+		rw.degraded[len(rw.degraded)-1] = err
+		rw.dropped++
+	} else {
+		rw.degraded = append(rw.degraded, err)
+	}
 	rw.mu.Unlock()
 }
 
 // Degradations drains and returns the degradation events (recovered match
-// panics, discarded invalid rewrites) recorded since the last call.
+// panics, discarded invalid rewrites) recorded since the last call. At most
+// maxDegradations events are retained between drains; when older events were
+// evicted, the first entry is a synthetic error reporting how many.
 func (rw *Rewriter) Degradations() []error {
 	rw.mu.Lock()
 	out := rw.degraded
-	rw.degraded = nil
+	if rw.dropped > 0 {
+		out = append([]error{fmt.Errorf("core: %d older degradation events dropped", rw.dropped)}, out...)
+	}
+	rw.degraded, rw.dropped = nil, 0
 	rw.mu.Unlock()
 	return out
 }

@@ -160,6 +160,56 @@ func TestQuarantineAndRecovery(t *testing.T) {
 	}
 }
 
+func TestStaleASTRecoversByFullRecomputeNotIncremental(t *testing.T) {
+	faultinject.Enable(1)
+	defer faultinject.Disable()
+
+	f := newTrackedFixture(t, 800)
+	ca := f.compile(t, "staleres", `
+		select flid, count(*) as c, sum(qty) as s from trans group by flid`)
+	plan := f.m.Analyze(ca)
+	if plan.Strategy != Incremental {
+		t.Fatalf("not incremental: %s", plan.Reason)
+	}
+
+	// Batch 1: both the incremental merge and the full fallback fail, leaving
+	// the materialization stale and missing this batch's delta.
+	faultinject.Set("maintain.incremental:staleres", faultinject.Fault{Err: errors.New("inc down"), Times: 1})
+	faultinject.Set("maintain.full:staleres", faultinject.Fault{Err: errors.New("full down"), Times: 1})
+	rng := rand.New(rand.NewSource(14))
+	if _, err := f.m.ApplyInsert([]*Plan{plan}, "trans", randTransRows(f, rng, 20)); err == nil {
+		t.Fatal("batch 1 refresh should fail")
+	}
+	if st := f.cat.Status("staleres"); !st.Stale {
+		t.Fatalf("AST should be stale after the failed batch: %+v", st)
+	}
+
+	// Batch 2 succeeds. An incremental merge here would fold only batch 2's
+	// delta into contents still missing batch 1 and then mark the AST fresh —
+	// resurrecting wrong data. Recovery must be a full recompute.
+	stats, err := f.m.ApplyInsert([]*Plan{plan}, "trans", randTransRows(f, rng, 20))
+	if err != nil {
+		t.Fatalf("batch 2 refresh failed: %v", err)
+	}
+	if len(stats) != 1 || stats[0].Strategy != FullRecompute {
+		t.Fatalf("stale AST must recover via full recompute, got %+v", stats)
+	}
+	if st := f.cat.Status("staleres"); st.Stale || st.Quarantined {
+		t.Fatalf("recovery recompute should leave the AST fresh: %+v", st)
+	}
+	checkAgainstRecompute(t, f, ca)
+
+	// Once fresh again, later batches go back to the incremental path.
+	stats, err = f.m.ApplyInsert([]*Plan{plan}, "trans", randTransRows(f, rng, 20))
+	if err != nil {
+		t.Fatalf("batch 3 refresh failed: %v", err)
+	}
+	if stats[0].Strategy != Incremental {
+		t.Fatalf("fresh AST should refresh incrementally again: %+v", stats)
+	}
+	checkAgainstRecompute(t, f, ca)
+}
+
 func TestStaleASTNeverReadWithoutAllowStale(t *testing.T) {
 	faultinject.Enable(1)
 	defer faultinject.Disable()

@@ -105,6 +105,18 @@ func (m *Maintainer) recordFailure(name string) {
 	}
 }
 
+// staleOrQuarantined reports whether the catalog says the AST's current
+// materialization cannot be trusted. Merging deltas into untrusted contents
+// would carry the corruption forward (and markFresh would then resurrect the
+// AST with wrong data), so recovery must always be a full recompute.
+func (m *Maintainer) staleOrQuarantined(name string) bool {
+	if m.cat == nil {
+		return false
+	}
+	st := m.cat.Status(name)
+	return st.Stale || st.Quarantined
+}
+
 // Analyze classifies an AST as incrementally maintainable or not and builds
 // its plan.
 func (m *Maintainer) Analyze(ast *core.CompiledAST) *Plan {
@@ -237,6 +249,11 @@ type Stats struct {
 // the error in that AST's Stats entry, marks it stale in the catalog, and
 // continues with the remaining ASTs. The returned error joins the per-AST
 // failures; the Stats slice is always complete.
+//
+// An AST whose catalog status is stale or quarantined is refreshed by full
+// recomputation regardless of its plan: its materialization is missing
+// earlier deltas, so only a full recompute — never an incremental merge —
+// may restore it to fresh.
 func (m *Maintainer) ApplyInsert(plans []*Plan, table string, rows [][]sqltypes.Value) ([]Stats, error) {
 	table = strings.ToLower(table)
 	td, ok := m.store.Table(table)
@@ -252,10 +269,15 @@ func (m *Maintainer) ApplyInsert(plans []*Plan, table string, rows [][]sqltypes.
 		start := time.Now()
 		var st Stats
 		var err error
-		if p.Strategy == Incremental {
+		// A stale or quarantined materialization is missing earlier deltas;
+		// merging this batch into it would produce wrong contents that the
+		// success path below would then mark fresh. Recovery is always a full
+		// recompute.
+		incremental := p.Strategy == Incremental && !m.staleOrQuarantined(p.AST.Def.Name)
+		if incremental {
 			st, err = m.incrementalRefresh(p, table, rows)
 		}
-		if p.Strategy != Incremental || err != nil {
+		if !incremental || err != nil {
 			// Full fallback runs after the base insert below; mark it.
 			st = Stats{AST: p.AST.Def.Name, Strategy: FullRecompute}
 		}
