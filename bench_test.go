@@ -5,6 +5,8 @@
 package repro_test
 
 import (
+	"context"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -20,6 +22,15 @@ import (
 
 const benchScale = 20000
 
+// envMu guards envCache. Lock discipline: sharedEnv takes envMu only while
+// looking up or building an Env, never during measurement, and must be called
+// from the benchmark's own goroutine BEFORE any b.RunParallel body — building
+// an env inside RunParallel would serialize workers on envMu and attribute
+// construction cost to the measured section. The returned Env is safe to
+// share across sub-benchmarks because measurement only reads it (Engine runs
+// take per-run state; the store is snapshot-isolated); benchmarks that mutate
+// an Env (register extra ASTs, insert rows) must build their own with
+// bench.NewEnv instead of going through this cache.
 var (
 	envMu    sync.Mutex
 	envCache = map[int]*bench.Env{}
@@ -117,11 +128,19 @@ func BenchmarkE08_Fig12_CubeSemantics(b *testing.B) {
 		b.Fatal(err)
 	}
 	engine := exec.NewEngine(store)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := engine.Run(g); err != nil {
-			b.Fatal(err)
-		}
+	// serial pins Parallelism=1 (the reference path); parallel uses the
+	// GOMAXPROCS default, so the ratio reflects the machine's cores.
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunCtx(context.Background(), g, exec.Limits{Parallelism: mode.par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -159,14 +178,14 @@ func BenchmarkE12_Speedup(b *testing.B) {
 			if env.RW.Rewrite(rw, env.ASTs[pair.a]) == nil {
 				b.Fatalf("%s/%s: no rewrite", pair.q, pair.a)
 			}
-			b.Run(pair.q+"/orig/n="+itoa(scale), func(b *testing.B) {
+			b.Run(pair.q+"/orig/n="+strconv.Itoa(scale), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := env.Engine.Run(orig); err != nil {
 						b.Fatal(err)
 					}
 				}
 			})
-			b.Run(pair.q+"/ast/n="+itoa(scale), func(b *testing.B) {
+			b.Run(pair.q+"/ast/n="+strconv.Itoa(scale), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := env.Engine.Run(rw); err != nil {
 						b.Fatal(err)
@@ -199,6 +218,28 @@ func BenchmarkE13_MatchOverhead(b *testing.B) {
 				}
 				if env.RW.Rewrite(g, env.ASTs[pair.a]) == nil {
 					b.Fatal("no rewrite")
+				}
+			}
+		})
+		// cached: the same repeated query answered through the plan cache —
+		// one cold miss to warm it, then every iteration is a key lookup plus
+		// a plan clone instead of build+match+splice.
+		b.Run("cached/"+pair.q, func(b *testing.B) {
+			cache := core.NewPlanCache(64)
+			asts := []*core.CompiledAST{env.ASTs[pair.a]}
+			ctx := context.Background()
+			cr, err := env.RW.RewriteSQLCached(ctx, cache, bench.Queries[pair.q], asts, env.Store)
+			if err != nil || cr.AST == "" {
+				b.Fatalf("warmup did not rewrite: %+v err=%v", cr, err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cr, err := env.RW.RewriteSQLCached(ctx, cache, bench.Queries[pair.q], asts, env.Store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !cr.Hit {
+					b.Fatal("cache miss on repeated query")
 				}
 			}
 		})
@@ -293,18 +334,6 @@ func BenchmarkA03_CuboidChoice(b *testing.B) {
 	}
 }
 
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var digits []byte
-	for n > 0 {
-		digits = append([]byte{byte('0' + n%10)}, digits...)
-		n /= 10
-	}
-	return string(digits)
-}
-
 // BenchmarkE14_DSSuite measures the TPC-D-style suite end to end: total
 // latency against base tables vs routed through the deployed AST set.
 func BenchmarkE14_DSSuite(b *testing.B) {
@@ -328,22 +357,29 @@ func BenchmarkE14_DSSuite(b *testing.B) {
 		env.RW.RewriteBestCost(rg, asts, env.Store)
 		rewrites = append(rewrites, rg)
 	}
-	b.Run("original", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for _, g := range origs {
-				if _, err := env.Engine.Run(g); err != nil {
-					b.Fatal(err)
+	// Cross original-vs-rewritten with serial-vs-parallel execution: the
+	// grouping-heavy suite is where partitioned aggregation should pay.
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run("original/"+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, g := range origs {
+					if _, err := env.Engine.RunCtx(context.Background(), g, exec.Limits{Parallelism: mode.par}); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
-		}
-	})
-	b.Run("rewritten", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for _, g := range rewrites {
-				if _, err := env.Engine.Run(g); err != nil {
-					b.Fatal(err)
+		})
+		b.Run("rewritten/"+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, g := range rewrites {
+					if _, err := env.Engine.RunCtx(context.Background(), g, exec.Limits{Parallelism: mode.par}); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
-		}
-	})
+		})
+	}
 }

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|E01,E05,A02] [-scale 50000]
+//	benchrunner [-exp all|E01,E05,A02] [-scale 50000] [-json BENCH_1.json]
+//
+// With -json, instead of printing experiment tables it measures the headline
+// benchmarks (original-vs-rewritten, serial-vs-parallel, cold-vs-cached
+// rewrite) under the testing harness and writes a machine-readable report.
 package main
 
 import (
@@ -21,7 +25,16 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 	scale := flag.Int("scale", 50000, "fact-table rows at full scale")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark report to this path and exit")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runJSON(*jsonPath, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	registry := bench.Registry()
 	if *list {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/qgm"
 )
@@ -277,9 +278,10 @@ func projectionOnly(mm *Match) bool {
 	return true
 }
 
-var compCounter int
+// compCounter is atomic: parallel candidate matching (RewriteBestCostCtx)
+// runs matchers concurrently, and each allocates compensation labels.
+var compCounter atomic.Int64
 
 func compLabel(kind string) string {
-	compCounter++
-	return fmt.Sprintf("%s-C%d", kind, compCounter)
+	return fmt.Sprintf("%s-C%d", kind, compCounter.Add(1))
 }

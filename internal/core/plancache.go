@@ -1,0 +1,208 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/qgm"
+)
+
+// PlanCache memoizes rewrite results across repeated queries (multi-query
+// workloads re-issue the same report queries constantly; matching every AST
+// every time is pure overhead). It is a bounded LRU keyed by the normalized
+// query SQL plus a freshness fingerprint of the candidate AST set.
+//
+// The fingerprint is what makes a hit safe: it folds in every candidate's
+// name, refresh epoch, stale flag, and quarantine flag (plus the rewriter's
+// AllowStale policy). Any status transition — MarkStale, MarkFresh (which
+// bumps the epoch), quarantine — changes the fingerprint and therefore the
+// key, so a cached plan can never serve a stale AST that Options.AllowStale
+// would refuse: the stale-era entry simply stops being found and ages out.
+type PlanCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	plan *qgm.Graph // pristine copy; cloned on every hit
+	ast  string     // AST name the plan reads; "" = base plan
+}
+
+// DefaultPlanCacheSize bounds a cache constructed with capacity <= 0.
+const DefaultPlanCacheSize = 256
+
+// NewPlanCache returns an empty cache holding at most capacity plans.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{cap: capacity, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns lifetime hit and miss counts.
+func (c *PlanCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// get returns a private clone of the cached plan for key, promoting the entry.
+func (c *PlanCache) get(key string) (*qgm.Graph, string, bool) {
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, "", false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	ent := el.Value.(*cacheEntry)
+	plan, ast := ent.plan, ent.ast
+	c.mu.Unlock()
+	// Clone outside the lock: callers execute (and may mutate) their copy,
+	// the cached plan stays pristine.
+	return plan.Clone(), ast, true
+}
+
+// put stores a private clone of plan under key, evicting the least recently
+// used entry past capacity.
+func (c *PlanCache) put(key string, plan *qgm.Graph, ast string) {
+	stored := plan.Clone()
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).plan = stored
+		el.Value.(*cacheEntry).ast = ast
+		c.mu.Unlock()
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, plan: stored, ast: ast})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+}
+
+// NormalizeSQL canonicalizes a query string for cache keying: runs of
+// whitespace collapse to one space and keywords/identifiers fold to lower
+// case — but the contents of single-quoted string literals are preserved
+// byte-for-byte, so `WHERE region = 'CA'` and `where region = 'ca'` remain
+// distinct queries.
+func NormalizeSQL(sql string) string {
+	var sb strings.Builder
+	sb.Grow(len(sql))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(sql); i++ {
+		ch := sql[i]
+		if inStr {
+			sb.WriteByte(ch)
+			if ch == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case ch == '\'':
+			if pendingSpace && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+			inStr = true
+			sb.WriteByte(ch)
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			pendingSpace = true
+		default:
+			if pendingSpace && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+			if 'A' <= ch && ch <= 'Z' {
+				ch += 'a' - 'A'
+			}
+			sb.WriteByte(ch)
+		}
+	}
+	return sb.String()
+}
+
+// cacheKey builds the cache key for one query against the current AST set:
+// normalized SQL plus the sorted per-AST freshness fingerprint and the
+// staleness policy in force.
+func (rw *Rewriter) cacheKey(sql string, asts []*CompiledAST) string {
+	parts := make([]string, 0, len(asts))
+	for _, ast := range asts {
+		st := rw.cat.Status(ast.Def.Name)
+		parts = append(parts, fmt.Sprintf("%s:%d:%t:%t", ast.Def.Name, st.Epoch, st.Stale, st.Quarantined))
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("allowstale=%t|%s|%s", rw.opts.AllowStale, strings.Join(parts, ";"), NormalizeSQL(sql))
+}
+
+// CachedRewrite is the outcome of a cache-aware rewrite.
+type CachedRewrite struct {
+	// Plan is runnable and owned by the caller (on a hit it is a fresh clone
+	// of the cached plan).
+	Plan *qgm.Graph
+	// AST names the summary table the plan reads; "" means the base plan.
+	AST string
+	// Hit reports whether the plan came from the cache (no matching ran).
+	Hit bool
+	// Rewrite carries the match details on a cache miss that rewrote; nil on
+	// hits and on base plans.
+	Rewrite *Result
+}
+
+// RewriteSQLCached answers "what plan should run for this SQL" through the
+// cache: on a hit it returns a clone of the cached plan without running the
+// matcher at all; on a miss it builds the query, picks the cheapest rewrite
+// via parallel cost-based matching (validated, falling back to the base plan
+// like RewriteOrFallback), and caches the outcome — including negative
+// outcomes, so a query no AST serves stops paying match overhead too.
+func (rw *Rewriter) RewriteSQLCached(ctx context.Context, cache *PlanCache, sql string, asts []*CompiledAST, sizer Sizer) (*CachedRewrite, error) {
+	key := rw.cacheKey(sql, asts)
+	if plan, astName, ok := cache.get(key); ok {
+		return &CachedRewrite{Plan: plan, AST: astName, Hit: true}, nil
+	}
+	query, err := qgm.BuildSQL(sql, rw.cat)
+	if err != nil {
+		return nil, err
+	}
+	clone := query.Clone()
+	var res *Result
+	if sizer != nil {
+		res = rw.RewriteBestCostCtx(ctx, clone, asts, sizer)
+	} else {
+		res = rw.RewriteBestCtx(ctx, clone, asts)
+	}
+	plan, astName := query, ""
+	if res != nil {
+		if err := clone.Validate(); err != nil {
+			rw.noteDegraded(fmt.Errorf("core: discarding invalid rewrite against %q: %w", res.AST.Def.Name, err))
+			res = nil
+		} else {
+			plan, astName = clone, res.AST.Def.Name
+		}
+	}
+	cache.put(key, plan, astName)
+	return &CachedRewrite{Plan: plan, AST: astName, Rewrite: res}, nil
+}

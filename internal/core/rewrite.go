@@ -263,31 +263,90 @@ type Sizer interface {
 // base plan. It returns nil when no candidate matches or none is estimated
 // cheaper.
 func (rw *Rewriter) RewriteBestCost(query *qgm.Graph, asts []*CompiledAST, sizer Sizer) *Result {
+	return rw.RewriteBestCostCtx(context.Background(), query, asts, sizer)
+}
+
+// RewriteBestCostCtx is cost-based rewrite selection with the candidate
+// matching fanned out across goroutines: each usable AST is matched against a
+// private clone of the query graph (the matcher allocates compensation boxes
+// in the query graph, so candidates cannot share one), its best cost gain is
+// computed, and the winner — by gain, then AST name, so the outcome does not
+// depend on goroutine scheduling — is re-matched against the real graph and
+// spliced. Each candidate's match runs behind the usual safeMatches recover
+// barrier; a panicking candidate drops out of the race, never the query.
+func (rw *Rewriter) RewriteBestCostCtx(ctx context.Context, query *qgm.Graph, asts []*CompiledAST, sizer Sizer) *Result {
+	var usable []*CompiledAST
+	for _, ast := range asts {
+		if rw.usable(ast) {
+			usable = append(usable, ast)
+		}
+	}
+	if len(usable) == 0 {
+		return nil
+	}
+
+	gains := make([]int, len(usable)) // <= 0: no beneficial match
+	if len(usable) == 1 {
+		gains[0] = rw.bestGain(ctx, query.Clone(), usable[0], sizer)
+	} else {
+		var wg sync.WaitGroup
+		for i, ast := range usable {
+			wg.Add(1)
+			go func(i int, ast *CompiledAST) {
+				defer wg.Done()
+				gains[i] = rw.bestGain(ctx, query.Clone(), ast, sizer)
+			}(i, ast)
+		}
+		wg.Wait()
+	}
+
+	winner := -1
+	for i, ast := range usable {
+		if gains[i] <= 0 {
+			continue
+		}
+		if winner < 0 || gains[i] > gains[winner] ||
+			(gains[i] == gains[winner] && ast.Def.Name < usable[winner].Def.Name) {
+			winner = i
+		}
+	}
+	if winner < 0 {
+		return nil
+	}
+
+	// Re-match the winner on the real graph (matching is deterministic, so
+	// this reproduces the probed gain) and splice its best match in place.
 	type cand struct {
-		ast  *CompiledAST
 		mm   *Match
 		gain int
 	}
 	var best *cand
-	for _, ast := range asts {
-		if !rw.usable(ast) {
+	for _, mm := range rw.safeMatches(ctx, query, usable[winner]) {
+		gain := rw.costGain(mm, usable[winner], sizer)
+		if gain <= 0 {
 			continue
 		}
-		for _, mm := range rw.safeMatches(context.Background(), query, ast) {
-			gain := rw.costGain(mm, ast, sizer)
-			if gain <= 0 {
-				continue
-			}
-			if best == nil || gain > best.gain {
-				best = &cand{ast: ast, mm: mm, gain: gain}
-			}
+		if best == nil || gain > best.gain {
+			best = &cand{mm: mm, gain: gain}
 		}
 	}
 	if best == nil {
 		return nil
 	}
-	rw.splice(query, best.ast, best.mm)
-	return &Result{AST: best.ast, Match: best.mm, Replaced: best.mm.Subsumee}
+	rw.splice(query, usable[winner], best.mm)
+	return &Result{AST: usable[winner], Match: best.mm, Replaced: best.mm.Subsumee}
+}
+
+// bestGain probes one candidate on a throwaway clone of the query and returns
+// its best positive cost gain (0 when it has no beneficial match).
+func (rw *Rewriter) bestGain(ctx context.Context, clone *qgm.Graph, ast *CompiledAST, sizer Sizer) int {
+	best := 0
+	for _, mm := range rw.safeMatches(ctx, clone, ast) {
+		if gain := rw.costGain(mm, ast, sizer); gain > best {
+			best = gain
+		}
+	}
+	return best
 }
 
 // costGain estimates base-plan cost minus rewritten cost for one match, in

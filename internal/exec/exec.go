@@ -11,13 +11,19 @@
 // output expressions. GROUP BY boxes evaluate each grouping set of their
 // canonicalized supergroup (paper §5: a cube query is the union of its
 // cuboids, NULL-padding the grouped-out columns).
+//
+// Row loops fan out across Limits.Parallelism workers (default GOMAXPROCS):
+// the driving quantifier's scan+filter, per-binding predicate filters, output
+// expression evaluation, and partitioned aggregation all partition their
+// input into contiguous chunks whose results are concatenated in chunk order,
+// so the parallel path produces the same rows in the same order as the serial
+// path (floating-point SUM may re-associate; see EqualResults tolerance).
 package exec
 
 import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/qgm"
 	"repro/internal/sqltypes"
@@ -55,15 +61,25 @@ func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Limits) (*Result,
 		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
 		defer cancel()
 	}
+	bud := &runBudget{ctx: ctx, maxRows: int64(lim.MaxRows)}
 	ev := &evaluator{
-		store:   e.store,
-		memo:    map[int][][]sqltypes.Value{},
-		ctx:     ctx,
-		maxRows: lim.MaxRows,
+		store: e.store,
+		memo:  map[int][][]sqltypes.Value{},
+		bud:   bud,
+		chg:   charger{b: bud},
+		par:   lim.Parallelism,
 	}
 	rows, err := ev.evalBox(g.Root)
 	if err != nil {
 		return nil, err
+	}
+	if err := ev.chg.flush(); err != nil {
+		return nil, err
+	}
+	// A base-table root would hand the caller the table's live row slice;
+	// consumers sort Result.Rows in place, which must never reorder storage.
+	if g.Root.Kind == qgm.BaseTableBox {
+		rows = append([][]sqltypes.Value(nil), rows...)
 	}
 	cols := make([]string, len(g.Root.Cols))
 	for i, c := range g.Root.Cols {
@@ -85,17 +101,23 @@ type evaluator struct {
 	store *storage.Store
 	memo  map[int][][]sqltypes.Value
 
-	ctx      context.Context
-	maxRows  int // 0 = unlimited
-	rowsUsed int
-	polls    int
+	bud *runBudget
+	chg charger // the main goroutine's charger; workers get their own
+	par int     // Limits.Parallelism (0 = GOMAXPROCS)
+}
+
+// checkpoint charges n materialized rows against the shared budget and
+// periodically polls the context (main-goroutine loops; workers use their own
+// charger).
+func (ev *evaluator) checkpoint(n int) error {
+	return ev.chg.checkpoint(n)
 }
 
 func (ev *evaluator) evalBox(b *qgm.Box) ([][]sqltypes.Value, error) {
 	if rows, ok := ev.memo[b.ID]; ok {
 		return rows, nil
 	}
-	if err := ev.pollCtx(); err != nil {
+	if err := ev.chg.flush(); err != nil {
 		return nil, err
 	}
 	var rows [][]sqltypes.Value
@@ -109,7 +131,7 @@ func (ev *evaluator) evalBox(b *qgm.Box) ([][]sqltypes.Value, error) {
 		if err == nil {
 			// Poll unconditionally after a scan: a slow storage layer must
 			// surface the deadline here, not rows later in a join loop.
-			err = ev.pollCtx()
+			err = ev.chg.flush()
 		}
 	case qgm.SelectBox:
 		rows, err = ev.evalSelect(b)
@@ -125,20 +147,11 @@ func (ev *evaluator) evalBox(b *qgm.Box) ([][]sqltypes.Value, error) {
 	return rows, nil
 }
 
-// binding carries the current row of each in-scope quantifier.
-type binding struct {
-	qids []int
-	rows [][]sqltypes.Value
-}
-
-func (bd *binding) row(qid int) []sqltypes.Value {
-	for i, id := range bd.qids {
-		if id == qid {
-			return bd.rows[i]
-		}
-	}
-	return nil
-}
+// binding is the joined tuple so far: the current row of each joined ForEach
+// quantifier, indexed by the join slot the quantifier was assigned when it
+// entered the join (exprCtx maps quantifier IDs to slots, replacing the old
+// per-lookup linear scan).
+type binding [][]sqltypes.Value
 
 func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 	var forEach []*qgm.Quantifier
@@ -163,7 +176,7 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 		}
 	}
 
-	ectx := &exprCtx{scalars: scalars, eval: ev}
+	ectx := &exprCtx{scalars: scalars}
 
 	preds := b.Preds
 	usedPred := make([]bool, len(preds))
@@ -171,10 +184,10 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 	// Join children left to right; before each step, pick an unjoined child
 	// connected to the current prefix by an equality predicate so it can be
 	// hash-joined.
-	var bindings []*binding
+	var bindings []binding
 	joined := map[int]bool{}
 	if len(forEach) == 0 {
-		bindings = []*binding{{}}
+		bindings = []binding{{}}
 	}
 
 	remaining := append([]*qgm.Quantifier(nil), forEach...)
@@ -185,7 +198,7 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 		var hashPreds []int
 		if len(joined) > 0 {
 			for ci, cand := range remaining {
-				hp := ev.hashablePreds(preds, usedPred, joined, cand.ID, scalars)
+				hp := hashablePreds(preds, usedPred, joined, cand.ID, scalars)
 				if len(hp) > 0 {
 					nextIdx = ci
 					hashPreds = hp
@@ -200,14 +213,16 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 		if err != nil {
 			return nil, err
 		}
+		slot := len(joined)
+		ectx.setSlot(next.ID, slot)
 
 		if len(joined) == 0 {
-			bindings = make([]*binding, len(childRows))
-			for i, r := range childRows {
-				bindings[i] = &binding{qids: []int{next.ID}, rows: [][]sqltypes.Value{r}}
+			bindings, err = ev.driveScan(next, childRows, preds, usedPred, ectx)
+			if err != nil {
+				return nil, err
 			}
 		} else if len(hashPreds) > 0 {
-			bindings, err = ev.hashJoin(bindings, next, childRows, preds, hashPreds, ectx)
+			bindings, err = ev.hashJoin(bindings, next, slot, childRows, preds, hashPreds, ectx)
 			if err != nil {
 				return nil, err
 			}
@@ -216,17 +231,13 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 			}
 		} else {
 			// Nested-loop cross join.
-			out := make([]*binding, 0, len(bindings)*max(1, len(childRows)))
+			out := make([]binding, 0, len(bindings)*max(1, len(childRows)))
 			for _, bd := range bindings {
 				for _, r := range childRows {
 					if err := ev.checkpoint(1); err != nil {
 						return nil, err
 					}
-					nb := &binding{
-						qids: append(append([]int(nil), bd.qids...), next.ID),
-						rows: append(append([][]sqltypes.Value(nil), bd.rows...), r),
-					}
-					out = append(out, nb)
+					out = append(out, extend(bd, r))
 				}
 			}
 			bindings = out
@@ -247,20 +258,29 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 		return nil, err
 	}
 
-	out := make([][]sqltypes.Value, 0, len(bindings))
-	for _, bd := range bindings {
-		if err := ev.checkpoint(1); err != nil {
-			return nil, err
-		}
-		row := make([]sqltypes.Value, len(b.Cols))
-		for i, c := range b.Cols {
-			v, err := ectx.evalScalar(c.Expr, bd)
-			if err != nil {
-				return nil, err
+	// Compute output expressions, partitioned across workers; each worker
+	// writes a disjoint index range, so order is exactly the serial order.
+	out := make([][]sqltypes.Value, len(bindings))
+	err = ev.parallelChunks(len(bindings), ev.workersFor(len(bindings)),
+		func(w, lo, hi int, chg *charger) error {
+			for i := lo; i < hi; i++ {
+				if err := chg.checkpoint(1); err != nil {
+					return err
+				}
+				row := make([]sqltypes.Value, len(b.Cols))
+				for ci, c := range b.Cols {
+					v, err := ectx.evalScalar(c.Expr, bindings[i])
+					if err != nil {
+						return err
+					}
+					row[ci] = v
+				}
+				out[i] = row
 			}
-			row[i] = v
-		}
-		out = append(out, row)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	if b.Distinct {
@@ -269,10 +289,74 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 	return out, nil
 }
 
+// extend returns a new binding with r appended at the next slot.
+func extend(bd binding, r []sqltypes.Value) binding {
+	nb := make(binding, len(bd)+1)
+	copy(nb, bd)
+	nb[len(bd)] = r
+	return nb
+}
+
+// driveScan builds the initial binding set from the first (driving)
+// quantifier's rows, applying any predicates evaluable over it alone, with
+// the scan+filter partitioned across workers. Chunks are concatenated in
+// order, so the binding order matches the serial path.
+func (ev *evaluator) driveScan(next *qgm.Quantifier, childRows [][]sqltypes.Value, preds []qgm.Expr, usedPred []bool, ectx *exprCtx) ([]binding, error) {
+	apply, err := applicablePreds(preds, usedPred, map[int]bool{next.ID: true}, ectx, false)
+	if err != nil {
+		return nil, err
+	}
+	workers := ev.workersFor(len(childRows))
+	parts := make([][]binding, workers)
+	err = ev.parallelChunks(len(childRows), workers, func(w, lo, hi int, chg *charger) error {
+		out := make([]binding, 0, hi-lo)
+		for _, r := range childRows[lo:hi] {
+			if err := chg.checkpoint(0); err != nil {
+				return err
+			}
+			bd := binding{r}
+			keep := true
+			for _, pi := range apply {
+				t, err := ectx.evalPred(preds[pi], bd)
+				if err != nil {
+					return err
+				}
+				if t != sqltypes.True {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out = append(out, bd)
+			}
+		}
+		parts[w] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pi := range apply {
+		usedPred[pi] = true
+	}
+	if workers == 1 {
+		return parts[0], nil
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	bindings := make([]binding, 0, total)
+	for _, p := range parts {
+		bindings = append(bindings, p...)
+	}
+	return bindings, nil
+}
+
 // hashablePreds returns indices of unused equality predicates that connect
 // candidate quantifier cand to the joined prefix: one side references only
 // cand, the other only joined quantifiers (or scalars/constants).
-func (ev *evaluator) hashablePreds(preds []qgm.Expr, used []bool, joined map[int]bool, cand int, scalars map[int]sqltypes.Value) []int {
+func hashablePreds(preds []qgm.Expr, used []bool, joined map[int]bool, cand int, scalars map[int]sqltypes.Value) []int {
 	var out []int
 	for i, p := range preds {
 		if used[i] {
@@ -333,7 +417,7 @@ func sideQuants(e qgm.Expr, scalars map[int]sqltypes.Value) map[int]bool {
 	return qs
 }
 
-func (ev *evaluator) hashJoin(bindings []*binding, next *qgm.Quantifier, childRows [][]sqltypes.Value, preds []qgm.Expr, hashPreds []int, ectx *exprCtx) ([]*binding, error) {
+func (ev *evaluator) hashJoin(bindings []binding, next *qgm.Quantifier, slot int, childRows [][]sqltypes.Value, preds []qgm.Expr, hashPreds []int, ectx *exprCtx) ([]binding, error) {
 	// Split each hash predicate into (prefix expr, child expr).
 	type keyPair struct{ prefix, child qgm.Expr }
 	pairs := make([]keyPair, 0, len(hashPreds))
@@ -347,12 +431,14 @@ func (ev *evaluator) hashJoin(bindings []*binding, next *qgm.Quantifier, childRo
 		}
 	}
 
-	// Build hash table on child rows.
+	// Build hash table on child rows, keyed through a reusable scratch buffer
+	// (a key string is only allocated when it enters the table).
 	table := make(map[string][][]sqltypes.Value, len(childRows))
-	childBd := &binding{qids: []int{next.ID}, rows: [][]sqltypes.Value{nil}}
+	childBd := make(binding, slot+1)
+	var buf []byte
 	for _, r := range childRows {
-		childBd.rows[0] = r
-		var sb strings.Builder
+		childBd[slot] = r
+		buf = buf[:0]
 		null := false
 		for _, kp := range pairs {
 			v, err := ectx.evalScalar(kp.child, childBd)
@@ -363,19 +449,18 @@ func (ev *evaluator) hashJoin(bindings []*binding, next *qgm.Quantifier, childRo
 				null = true
 				break
 			}
-			sb.WriteString(v.GroupKey())
-			sb.WriteByte(0)
+			buf = v.AppendGroupKey(buf)
+			buf = append(buf, 0)
 		}
 		if null {
 			continue // NULL join keys never match
 		}
-		k := sb.String()
-		table[k] = append(table[k], r)
+		table[string(buf)] = append(table[string(buf)], r)
 	}
 
-	out := make([]*binding, 0, len(bindings))
+	out := make([]binding, 0, len(bindings))
 	for _, bd := range bindings {
-		var sb strings.Builder
+		buf = buf[:0]
 		null := false
 		for _, kp := range pairs {
 			v, err := ectx.evalScalar(kp.prefix, bd)
@@ -386,29 +471,26 @@ func (ev *evaluator) hashJoin(bindings []*binding, next *qgm.Quantifier, childRo
 				null = true
 				break
 			}
-			sb.WriteString(v.GroupKey())
-			sb.WriteByte(0)
+			buf = v.AppendGroupKey(buf)
+			buf = append(buf, 0)
 		}
 		if null {
 			continue
 		}
-		for _, r := range table[sb.String()] {
+		for _, r := range table[string(buf)] {
 			if err := ev.checkpoint(1); err != nil {
 				return nil, err
 			}
-			nb := &binding{
-				qids: append(append([]int(nil), bd.qids...), next.ID),
-				rows: append(append([][]sqltypes.Value(nil), bd.rows...), r),
-			}
-			out = append(out, nb)
+			out = append(out, extend(bd, r))
 		}
 	}
 	return out, nil
 }
 
-// filter applies predicates whose quantifiers are all joined. With final set,
-// all unused predicates must be evaluable and are applied.
-func (ev *evaluator) filter(bindings []*binding, preds []qgm.Expr, used []bool, joined map[int]bool, ectx *exprCtx, final bool) ([]*binding, error) {
+// applicablePreds returns the indices of unused predicates whose quantifier
+// references are all joined. With final set, every unused predicate must be
+// evaluable.
+func applicablePreds(preds []qgm.Expr, used []bool, joined map[int]bool, ectx *exprCtx, final bool) ([]int, error) {
 	var apply []int
 	for i, p := range preds {
 		if used[i] {
@@ -430,28 +512,56 @@ func (ev *evaluator) filter(bindings []*binding, preds []qgm.Expr, used []bool, 
 			return nil, fmt.Errorf("exec: predicate %s not evaluable", p.String())
 		}
 	}
+	return apply, nil
+}
+
+// filter applies predicates whose quantifiers are all joined, partitioning
+// large binding sets across workers. With final set, all unused predicates
+// must be evaluable and are applied.
+func (ev *evaluator) filter(bindings []binding, preds []qgm.Expr, used []bool, joined map[int]bool, ectx *exprCtx, final bool) ([]binding, error) {
+	apply, err := applicablePreds(preds, used, joined, ectx, final)
+	if err != nil {
+		return nil, err
+	}
 	if len(apply) == 0 {
 		return bindings, nil
 	}
-	out := bindings[:0]
-	for _, bd := range bindings {
-		keep := true
-		for _, pi := range apply {
-			t, err := ectx.evalPred(preds[pi], bd)
-			if err != nil {
-				return nil, err
+	workers := ev.workersFor(len(bindings))
+	parts := make([][]binding, workers)
+	err = ev.parallelChunks(len(bindings), workers, func(w, lo, hi int, chg *charger) error {
+		chunk := bindings[lo:hi]
+		out := chunk[:0] // compact in place within the disjoint chunk
+		for _, bd := range chunk {
+			if err := chg.checkpoint(0); err != nil {
+				return err
 			}
-			if t != sqltypes.True {
-				keep = false
-				break
+			keep := true
+			for _, pi := range apply {
+				t, err := ectx.evalPred(preds[pi], bd)
+				if err != nil {
+					return err
+				}
+				if t != sqltypes.True {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out = append(out, bd)
 			}
 		}
-		if keep {
-			out = append(out, bd)
-		}
+		parts[w] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, pi := range apply {
 		used[pi] = true
+	}
+	out := bindings[:0]
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out, nil
 }
@@ -459,15 +569,15 @@ func (ev *evaluator) filter(bindings []*binding, preds []qgm.Expr, used []bool, 
 func dedupeRows(rows [][]sqltypes.Value) [][]sqltypes.Value {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0]
+	var buf []byte
 	for _, r := range rows {
-		var sb strings.Builder
+		buf = buf[:0]
 		for _, v := range r {
-			sb.WriteString(v.GroupKey())
-			sb.WriteByte(0)
+			buf = v.AppendGroupKey(buf)
+			buf = append(buf, 0)
 		}
-		k := sb.String()
-		if !seen[k] {
-			seen[k] = true
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
 			out = append(out, r)
 		}
 	}

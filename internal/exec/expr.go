@@ -8,25 +8,42 @@ import (
 )
 
 // exprCtx evaluates scalar expressions and predicates against a binding.
-// Scalar-subquery quantifiers have been pre-evaluated into scalars.
+// Scalar-subquery quantifiers have been pre-evaluated into scalars; ForEach
+// quantifiers resolve to a fixed join slot assigned when they entered the
+// join, so a column reference is two slice indexes rather than a scan.
 type exprCtx struct {
 	scalars map[int]sqltypes.Value
-	eval    *evaluator
+	slots   []int // quantifier ID -> binding slot; -1 / out of range = none
 }
 
-func (c *exprCtx) evalScalar(e qgm.Expr, bd *binding) (sqltypes.Value, error) {
+// setSlot records that quantifier qid occupies the given binding slot.
+func (c *exprCtx) setSlot(qid, slot int) {
+	for len(c.slots) <= qid {
+		c.slots = append(c.slots, -1)
+	}
+	c.slots[qid] = slot
+}
+
+func (c *exprCtx) evalScalar(e qgm.Expr, bd binding) (sqltypes.Value, error) {
 	switch t := e.(type) {
 	case *qgm.ColRef:
 		if t.Q == nil {
 			return sqltypes.Null, fmt.Errorf("exec: unbound column reference")
 		}
-		if v, ok := c.scalars[t.Q.ID]; ok {
-			return v, nil
+		qid := t.Q.ID
+		if len(c.scalars) > 0 {
+			if v, ok := c.scalars[qid]; ok {
+				return v, nil
+			}
 		}
-		row := bd.row(t.Q.ID)
-		if row == nil {
-			return sqltypes.Null, fmt.Errorf("exec: quantifier q%d not in scope", t.Q.ID)
+		slot := -1
+		if qid < len(c.slots) {
+			slot = c.slots[qid]
 		}
+		if slot < 0 || slot >= len(bd) || bd[slot] == nil {
+			return sqltypes.Null, fmt.Errorf("exec: quantifier q%d not in scope", qid)
+		}
+		row := bd[slot]
 		if t.Col >= len(row) {
 			return sqltypes.Null, fmt.Errorf("exec: column %d out of range (row width %d)", t.Col, len(row))
 		}
@@ -132,7 +149,7 @@ func (c *exprCtx) evalScalar(e qgm.Expr, bd *binding) (sqltypes.Value, error) {
 	}
 }
 
-func (c *exprCtx) evalPred(e qgm.Expr, bd *binding) (sqltypes.Tri, error) {
+func (c *exprCtx) evalPred(e qgm.Expr, bd binding) (sqltypes.Tri, error) {
 	switch t := e.(type) {
 	case *qgm.Bin:
 		switch t.Op {

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/qgm"
 	"repro/internal/sqltypes"
@@ -12,6 +11,13 @@ import (
 // canonicalized supergroup, it groups the child rows by the set's columns and
 // computes the aggregate columns, NULL-padding the grouped-out grouping
 // columns (paper §5, Figure 12 semantics).
+//
+// Both phases are partitioned across workers: the per-row expression
+// pre-evaluation writes disjoint index ranges, and aggregation builds one
+// partial (local map of groupState) per contiguous chunk, merged in ascending
+// chunk order. Because chunks are contiguous and in order, the merged
+// first-seen key order and each group's representative row are identical to
+// the serial path; only floating-point SUM may re-associate.
 func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 	if len(b.Quantifiers) != 1 || b.Quantifiers[0].Kind != qgm.ForEach {
 		return nil, fmt.Errorf("exec: GROUP BY box %s must have one ForEach child", b.Label)
@@ -21,8 +27,8 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	ectx := &exprCtx{scalars: map[int]sqltypes.Value{}, eval: ev}
-	bd := &binding{qids: []int{q.ID}, rows: [][]sqltypes.Value{nil}}
+	ectx := &exprCtx{scalars: map[int]sqltypes.Value{}}
+	ectx.setSlot(q.ID, 0)
 
 	// Pre-evaluate grouping-column and aggregate-argument expressions per
 	// input row (they are usually simple QNCs, but compensation boxes may
@@ -46,32 +52,40 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 	nGroup := len(b.GroupBy)
 	groupVals := make([][]sqltypes.Value, len(childRows)) // per row: grouping col values, in GroupBy order
 	argVals := make([][]sqltypes.Value, len(childRows))   // per row: aggregate argument values
-	for ri, r := range childRows {
-		if err := ev.checkpoint(1); err != nil {
-			return nil, err
-		}
-		bd.rows[0] = r
-		gv := make([]sqltypes.Value, nGroup)
-		for pos, col := range b.GroupBy {
-			v, err := ectx.evalScalar(b.Cols[col].Expr, bd)
-			if err != nil {
-				return nil, err
+	err = ev.parallelChunks(len(childRows), ev.workersFor(len(childRows)),
+		func(w, lo, hi int, chg *charger) error {
+			bd := binding{nil}
+			for ri := lo; ri < hi; ri++ {
+				if err := chg.checkpoint(1); err != nil {
+					return err
+				}
+				bd[0] = childRows[ri]
+				gv := make([]sqltypes.Value, nGroup)
+				for pos, col := range b.GroupBy {
+					v, err := ectx.evalScalar(b.Cols[col].Expr, bd)
+					if err != nil {
+						return err
+					}
+					gv[pos] = v
+				}
+				groupVals[ri] = gv
+				av := make([]sqltypes.Value, len(aggSpecs))
+				for ai, spec := range aggSpecs {
+					if spec.agg.Star {
+						continue
+					}
+					v, err := ectx.evalScalar(spec.agg.Arg, bd)
+					if err != nil {
+						return err
+					}
+					av[ai] = v
+				}
+				argVals[ri] = av
 			}
-			gv[pos] = v
-		}
-		groupVals[ri] = gv
-		av := make([]sqltypes.Value, len(aggSpecs))
-		for ai, spec := range aggSpecs {
-			if spec.agg.Star {
-				continue
-			}
-			v, err := ectx.evalScalar(spec.agg.Arg, bd)
-			if err != nil {
-				return nil, err
-			}
-			av[ai] = v
-		}
-		argVals[ri] = av
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	sets := b.GroupingSets
@@ -99,31 +113,65 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 			out = append(out, row)
 			continue
 		}
-		groups := map[string]*groupState{}
-		var order []string
-		for ri := range childRows {
-			if err := ev.checkpoint(0); err != nil {
-				return nil, err
-			}
-			var sb strings.Builder
-			for _, pos := range gs {
-				sb.WriteString(groupVals[ri][pos].GroupKey())
-				sb.WriteByte(0)
-			}
-			k := sb.String()
-			g, ok := groups[k]
-			if !ok {
-				g = newGroupState(len(aggSpecs))
-				g.reprRow = ri
-				groups[k] = g
-				order = append(order, k)
-			}
-			for ai, spec := range aggSpecs {
-				if err := g.aggs[ai].accumulate(spec.agg, argVals[ri][ai]); err != nil {
-					return nil, err
+
+		// Build one partial per chunk, then merge in chunk order.
+		workers := ev.workersFor(len(childRows))
+		partials := make([]*groupPartial, workers)
+		err = ev.parallelChunks(len(childRows), workers,
+			func(w, lo, hi int, chg *charger) error {
+				p := &groupPartial{groups: map[string]*groupState{}}
+				var buf []byte
+				for ri := lo; ri < hi; ri++ {
+					if err := chg.checkpoint(0); err != nil {
+						return err
+					}
+					buf = buf[:0]
+					for _, pos := range gs {
+						buf = groupVals[ri][pos].AppendGroupKey(buf)
+						buf = append(buf, 0)
+					}
+					g, ok := p.groups[string(buf)]
+					if !ok {
+						g = newGroupState(len(aggSpecs))
+						g.reprRow = ri
+						k := string(buf)
+						p.groups[k] = g
+						p.order = append(p.order, k)
+					}
+					for ai, spec := range aggSpecs {
+						if err := g.aggs[ai].accumulate(spec.agg, argVals[ri][ai]); err != nil {
+							return err
+						}
+					}
+				}
+				partials[w] = p
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+
+		groups := partials[0].groups
+		order := partials[0].order
+		for _, p := range partials[1:] {
+			for _, k := range p.order {
+				o := p.groups[k]
+				g, ok := groups[k]
+				if !ok {
+					// First chunk to see the key: adopt its state; reprRow is
+					// globally first because chunks are merged in row order.
+					groups[k] = o
+					order = append(order, k)
+					continue
+				}
+				for ai, spec := range aggSpecs {
+					if err := g.aggs[ai].merge(spec.agg, &o.aggs[ai]); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
+
 		for _, k := range order {
 			if err := ev.checkpoint(1); err != nil {
 				return nil, err
@@ -152,6 +200,13 @@ func allInts(n int) []int {
 		out[i] = i
 	}
 	return out
+}
+
+// groupPartial is one worker's aggregation state over its chunk: group states
+// keyed by composite group key, plus the chunk-local first-seen key order.
+type groupPartial struct {
+	groups map[string]*groupState
+	order  []string
 }
 
 type groupState struct {
@@ -217,6 +272,51 @@ func (a *aggState) accumulate(spec *qgm.Agg, arg sqltypes.Value) error {
 		}
 	default:
 		return fmt.Errorf("exec: unknown aggregate %q", spec.Op)
+	}
+	return nil
+}
+
+// merge folds another chunk's state for the same group into a. This is the
+// partial-aggregate combine of parallel aggregation: COUNT adds, SUM adds the
+// partial sums, MIN/MAX compare extrema, and DISTINCT unions the key sets.
+// The other state must come from a later chunk (a's reprRow stays the
+// globally first row) and is consumed by the merge.
+func (a *aggState) merge(spec *qgm.Agg, o *aggState) error {
+	if spec.Distinct {
+		if o.distinct != nil {
+			if a.distinct == nil {
+				a.distinct = o.distinct
+			} else {
+				for k, v := range o.distinct {
+					a.distinct[k] = v
+				}
+			}
+		}
+		return nil
+	}
+	a.count += o.count // COUNT(*) and COUNT(x) both live here
+	if o.sumSet {
+		if !a.sumSet {
+			a.sum, a.sumSet = o.sum, true
+		} else {
+			s, err := sqltypes.Add(a.sum, o.sum)
+			if err != nil {
+				return err
+			}
+			a.sum = s
+		}
+	}
+	if o.extSet {
+		if !a.extSet {
+			a.minV, a.maxV, a.extSet = o.minV, o.maxV, true
+		} else {
+			if c, err := sqltypes.Compare(o.minV, a.minV); err == nil && c < 0 {
+				a.minV = o.minV
+			}
+			if c, err := sqltypes.Compare(o.maxV, a.maxV); err == nil && c > 0 {
+				a.maxV = o.maxV
+			}
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,11 +13,18 @@ type Limits struct {
 	// MaxRows caps the rows the run may materialize, summed over every
 	// operator (scans, join outputs, group outputs). It bounds memory and
 	// work for runaway plans (e.g. an accidental cross join), not just the
-	// final result size.
+	// final result size. Under parallel execution the cap is charged through
+	// one atomic counter shared by all workers, so it holds run-wide (workers
+	// batch their charges, so a run may overshoot by at most a few batches
+	// before tripping).
 	MaxRows int
 	// Timeout is the wall-clock budget for the run; it is applied on top of
 	// whatever deadline the caller's context already carries.
 	Timeout time.Duration
+	// Parallelism caps the worker count of parallel operators (partitioned
+	// aggregation, scan+filter partitioning). 0 means GOMAXPROCS; 1 forces
+	// the serial path, which is the reference for result-parity testing.
+	Parallelism int
 }
 
 // ErrBudgetExceeded is returned (wrapped) when a run materializes more than
@@ -27,33 +35,74 @@ var ErrBudgetExceeded = errors.New("exec: row budget exceeded")
 // its deadline — including Limits.Timeout — expires.
 var ErrCanceled = errors.New("exec: canceled")
 
-// pollEvery gates context polling in hot loops: the evaluator checks
-// ctx.Done() once per this many checkpoint calls (plus once per box).
+// pollEvery gates context polling in hot loops: a charger checks ctx.Done()
+// at least once per this many checkpoint calls (plus once per box and once
+// per parallel partition).
 const pollEvery = 256
 
-// checkpoint charges n materialized rows against the budget and periodically
-// polls the context. Every loop that produces or consumes rows calls it.
-func (ev *evaluator) checkpoint(n int) error {
-	ev.rowsUsed += n
-	if ev.maxRows > 0 && ev.rowsUsed > ev.maxRows {
-		return fmt.Errorf("%w: materialized %d rows, limit %d", ErrBudgetExceeded, ev.rowsUsed, ev.maxRows)
+// chargeBatch is how many rows a charger accumulates locally before pushing
+// them to the shared atomic counter. It bounds both atomic contention across
+// workers and how far a run can overshoot MaxRows before tripping.
+const chargeBatch = 64
+
+// runBudget is the shared, concurrency-safe resource budget of one run:
+// every worker of every parallel operator charges the same atomic counter,
+// so Limits.MaxRows bounds the run as a whole, not per goroutine.
+type runBudget struct {
+	ctx     context.Context
+	maxRows int64 // 0 = unlimited
+	used    atomic.Int64
+}
+
+// charge adds n rows to the shared counter, returning a wrapped
+// ErrBudgetExceeded past the cap, and polls the context.
+func (b *runBudget) charge(n int64) error {
+	if n > 0 {
+		used := b.used.Add(n)
+		if b.maxRows > 0 && used > b.maxRows {
+			return fmt.Errorf("%w: materialized %d rows, limit %d", ErrBudgetExceeded, used, b.maxRows)
+		}
 	}
-	ev.polls++
-	if ev.polls%pollEvery == 0 {
-		return ev.pollCtx()
+	return b.poll()
+}
+
+// poll reports a typed cancellation error when the run's context is done.
+func (b *runBudget) poll() error {
+	if b.ctx == nil {
+		return nil
+	}
+	select {
+	case <-b.ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(b.ctx))
+	default:
+		return nil
+	}
+}
+
+// charger is one goroutine's stake in the shared budget. It accumulates row
+// charges locally and flushes them to the atomic counter in batches; each
+// flush also polls the context. Every loop that produces or consumes rows
+// calls checkpoint on its goroutine's charger.
+type charger struct {
+	b     *runBudget
+	local int64
+	calls int64
+}
+
+func (c *charger) checkpoint(n int) error {
+	c.local += int64(n)
+	c.calls++
+	if c.local >= chargeBatch || c.calls%pollEvery == 0 {
+		return c.flush()
 	}
 	return nil
 }
 
-// pollCtx reports a typed cancellation error when the run's context is done.
-func (ev *evaluator) pollCtx() error {
-	if ev.ctx == nil {
-		return nil
-	}
-	select {
-	case <-ev.ctx.Done():
-		return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ev.ctx))
-	default:
-		return nil
-	}
+// flush pushes the locally accumulated charge to the shared budget and polls
+// the context. Callers flush at operator boundaries and when a worker
+// finishes its partition so accounting never lags a completed operator.
+func (c *charger) flush() error {
+	n := c.local
+	c.local = 0
+	return c.b.charge(n)
 }

@@ -370,6 +370,12 @@ func findPlan(plans []*Plan, name string) *Plan {
 // materialized AST. A panic anywhere inside (including the engine) is
 // recovered into an error; ApplyInsert then falls back to full
 // recomputation.
+//
+// The refresh is reader-safe: the delta is evaluated on an overlay store (the
+// inserted table replaced by just the delta rows, nothing mutated), and the
+// merge is copy-on-write — a new row set is built and swapped in with Put, so
+// queries scanning the AST concurrently keep a consistent pre-refresh
+// snapshot.
 func (m *Maintainer) incrementalRefresh(p *Plan, table string, rows [][]sqltypes.Value) (st Stats, err error) {
 	st = Stats{AST: p.AST.Def.Name, Strategy: Incremental}
 	defer func() {
@@ -381,18 +387,13 @@ func (m *Maintainer) incrementalRefresh(p *Plan, table string, rows [][]sqltypes
 		return st, err
 	}
 
-	// Evaluate the definition with the inserted table temporarily replaced by
-	// just the delta rows; other tables keep their current contents. For
-	// insert-only deltas into one table this yields exactly Δ(join) under the
-	// usual delta rule. The swap is restored by defer so a panicking
-	// evaluation cannot leave the base table truncated.
+	// Evaluate the definition with the inserted table replaced by just the
+	// delta rows; other tables keep their current contents. For insert-only
+	// deltas into one table this yields exactly Δ(join) under the usual delta
+	// rule.
 	td := m.store.MustTable(table)
-	saved := td.Rows
-	td.Rows = rows
-	delta, err := func() (*exec.Result, error) {
-		defer func() { td.Rows = saved }()
-		return m.engine.Run(p.AST.Graph)
-	}()
+	scratch := m.store.Overlay(table, td.Meta, rows)
+	delta, err := exec.NewEngine(scratch).Run(p.AST.Graph)
 	if err != nil {
 		return st, fmt.Errorf("maintain: delta eval: %w", err)
 	}
@@ -407,7 +408,10 @@ func (m *Maintainer) incrementalRefresh(p *Plan, table string, rows [][]sqltypes
 	}
 
 	// Index existing groups by key columns.
-	index := make(map[string]int, len(mat.Rows))
+	snap := mat.Snapshot()
+	merged := make([][]sqltypes.Value, len(snap), len(snap)+len(delta.Rows))
+	copy(merged, snap)
+	index := make(map[string]int, len(merged))
 	key := func(r []sqltypes.Value) string {
 		var sb strings.Builder
 		for _, k := range p.keyCols {
@@ -416,23 +420,27 @@ func (m *Maintainer) incrementalRefresh(p *Plan, table string, rows [][]sqltypes
 		}
 		return sb.String()
 	}
-	for i, r := range mat.Rows {
+	for i, r := range merged {
 		index[key(r)] = i
 	}
 
 	for _, d := range delta.Rows {
 		if i, ok := index[key(d)]; ok {
-			if err := mergeRow(p, mat.Rows[i], d); err != nil {
+			// Copy-on-write: never mutate a row a concurrent reader may hold.
+			nr := append([]sqltypes.Value(nil), merged[i]...)
+			if err := mergeRow(p, nr, d); err != nil {
 				return st, err
 			}
+			merged[i] = nr
 			st.Merged++
 		} else {
 			nr := append([]sqltypes.Value(nil), d...)
-			mat.Rows = append(mat.Rows, nr)
-			index[key(nr)] = len(mat.Rows) - 1
+			merged = append(merged, nr)
+			index[key(nr)] = len(merged) - 1
 			st.Added++
 		}
 	}
+	m.store.Put(mat.Meta, merged)
 	return st, nil
 }
 

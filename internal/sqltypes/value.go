@@ -300,24 +300,31 @@ func Identical(a, b Value) bool {
 // values map to distinct strings; numerically equal int/float values map to
 // the same string (GROUP BY treats 1 and 1.0 as one group).
 func (v Value) GroupKey() string {
+	return string(v.AppendGroupKey(nil))
+}
+
+// AppendGroupKey appends the value's grouping key to buf and returns the
+// extended slice. It is the allocation-free form of GroupKey for hot loops
+// that build composite keys into a reusable scratch buffer.
+func (v Value) AppendGroupKey(buf []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return "\x00N"
+		return append(buf, '\x00', 'N')
 	case KindInt:
-		return "\x01" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(buf, '\x01'), v.i, 10)
 	case KindFloat:
 		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
-			return "\x01" + strconv.FormatInt(int64(v.f), 10)
+			return strconv.AppendInt(append(buf, '\x01'), int64(v.f), 10)
 		}
-		return "\x02" + strconv.FormatFloat(v.f, 'b', -1, 64)
+		return strconv.AppendFloat(append(buf, '\x02'), v.f, 'b', -1, 64)
 	case KindString:
-		return "\x03" + v.s
+		return append(append(buf, '\x03'), v.s...)
 	case KindBool:
-		return "\x04" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(buf, '\x04'), v.i, 10)
 	case KindDate:
-		return "\x05" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(buf, '\x05'), v.i, 10)
 	default:
-		return "\x7f?"
+		return append(buf, '\x7f', '?')
 	}
 }
 

@@ -397,3 +397,34 @@ func TestConcat(t *testing.T) {
 		t.Fatal("int concat must error")
 	}
 }
+
+func TestAppendGroupKeyMatchesGroupKey(t *testing.T) {
+	vals := []Value{
+		Null,
+		NewInt(0), NewInt(-7), NewInt(1 << 40),
+		NewFloat(1), NewFloat(1.5), NewFloat(-0.25), NewFloat(1e18),
+		NewString(""), NewString("ca"), NewString("CA"),
+		NewBool(true), NewBool(false),
+		MustParseDate("1991-04-12"),
+	}
+	buf := make([]byte, 0, 64)
+	for _, v := range vals {
+		buf = buf[:0]
+		buf = v.AppendGroupKey(buf)
+		if string(buf) != v.GroupKey() {
+			t.Errorf("AppendGroupKey(%v) = %q, GroupKey = %q", v, buf, v.GroupKey())
+		}
+	}
+	// Int and equal-valued float share a key; distinct values never collide.
+	if NewInt(1).GroupKey() != NewFloat(1).GroupKey() {
+		t.Error("1 and 1.0 must share a grouping key")
+	}
+	seen := map[string]Value{}
+	for _, v := range vals[:10] { // distinct values above
+		k := v.GroupKey()
+		if prev, ok := seen[k]; ok && !Identical(prev, v) {
+			t.Errorf("collision: %v and %v both map to %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+}

@@ -1,11 +1,19 @@
 // Package storage provides an in-memory row store: named tables with
 // catalog-described schemas and bulk loading. It is the execution substrate —
 // the paper ran inside DB2; we run the same QGM graphs over this store.
+//
+// Concurrency: the store supports concurrent readers (Scan, Table, TableRows)
+// alongside maintenance writers (Insert, Put, Drop). Scan returns a snapshot
+// slice header — appends after the scan never reach it, and Put swaps the
+// whole table so in-flight readers keep their old version. Direct access to
+// TableData.Rows remains available for single-threaded loading and tests; it
+// must not be mixed with concurrent use of the same table.
 package storage
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/faultinject"
@@ -15,12 +23,17 @@ import (
 // TableData is the stored rows of one table.
 type TableData struct {
 	Meta *catalog.Table
+
+	mu sync.RWMutex
+	// Rows may be read/written directly in single-threaded code; concurrent
+	// paths go through Insert/Snapshot, which guard it with mu.
 	Rows [][]sqltypes.Value
 }
 
-// Store maps table names to their data. Mutation is not concurrency-safe;
-// reads after load are.
+// Store maps table names to their data. All methods are safe for concurrent
+// use; writers (Create, Put, Drop) serialize against readers.
 type Store struct {
+	mu     sync.RWMutex
 	tables map[string]*TableData
 }
 
@@ -32,25 +45,34 @@ func NewStore() *Store {
 // Create registers an empty table with the given schema.
 func (s *Store) Create(meta *catalog.Table) *TableData {
 	td := &TableData{Meta: meta}
+	s.mu.Lock()
 	s.tables[strings.ToLower(meta.Name)] = td
+	s.mu.Unlock()
 	return td
 }
 
-// Put replaces (or creates) a table's data wholesale.
+// Put replaces (or creates) a table's data wholesale. Readers that already
+// scanned the table keep their previous snapshot.
 func (s *Store) Put(meta *catalog.Table, rows [][]sqltypes.Value) *TableData {
 	td := &TableData{Meta: meta, Rows: rows}
+	s.mu.Lock()
 	s.tables[strings.ToLower(meta.Name)] = td
+	s.mu.Unlock()
 	return td
 }
 
 // Drop removes a table.
 func (s *Store) Drop(name string) {
+	s.mu.Lock()
 	delete(s.tables, strings.ToLower(name))
+	s.mu.Unlock()
 }
 
 // Table returns a table's data by name.
 func (s *Store) Table(name string) (*TableData, bool) {
+	s.mu.RLock()
 	td, ok := s.tables[strings.ToLower(name)]
+	s.mu.RUnlock()
 	return td, ok
 }
 
@@ -63,9 +85,25 @@ func (s *Store) MustTable(name string) *TableData {
 	return td
 }
 
-// Scan returns a table's rows for execution. It is the storage-layer fault
-// site ("storage.scan:<table>"): chaos tests inject scan errors and delays
-// here to prove the pipeline answers from base tables anyway.
+// Overlay returns a new Store that shares every table with s except name,
+// which is replaced by the given rows. Maintenance uses it to evaluate a
+// delta query (base table = just the inserted rows) without mutating the
+// shared store under concurrent readers.
+func (s *Store) Overlay(name string, meta *catalog.Table, rows [][]sqltypes.Value) *Store {
+	out := NewStore()
+	s.mu.RLock()
+	for n, td := range s.tables {
+		out.tables[n] = td
+	}
+	s.mu.RUnlock()
+	out.tables[strings.ToLower(name)] = &TableData{Meta: meta, Rows: rows}
+	return out
+}
+
+// Scan returns a snapshot of a table's rows for execution. It is the
+// storage-layer fault site ("storage.scan:<table>"): chaos tests inject scan
+// errors and delays here to prove the pipeline answers from base tables
+// anyway.
 func (s *Store) Scan(name string) ([][]sqltypes.Value, error) {
 	td, ok := s.Table(name)
 	if !ok {
@@ -74,7 +112,16 @@ func (s *Store) Scan(name string) ([][]sqltypes.Value, error) {
 	if err := faultinject.Hit("storage.scan:" + td.Meta.Name); err != nil {
 		return nil, fmt.Errorf("storage: scanning %q: %w", td.Meta.Name, err)
 	}
-	return td.Rows, nil
+	return td.Snapshot(), nil
+}
+
+// Snapshot returns the current rows as a stable slice header: rows appended
+// after the call are not visible through it.
+func (t *TableData) Snapshot() [][]sqltypes.Value {
+	t.mu.RLock()
+	rows := t.Rows
+	t.mu.RUnlock()
+	return rows
 }
 
 // Insert appends one row after arity-checking it.
@@ -82,7 +129,9 @@ func (t *TableData) Insert(row []sqltypes.Value) error {
 	if len(row) != len(t.Meta.Columns) {
 		return fmt.Errorf("storage: row arity %d != %d for table %s", len(row), len(t.Meta.Columns), t.Meta.Name)
 	}
+	t.mu.Lock()
 	t.Rows = append(t.Rows, row)
+	t.mu.Unlock()
 	return nil
 }
 
@@ -94,7 +143,12 @@ func (t *TableData) MustInsert(row ...sqltypes.Value) {
 }
 
 // Cardinality returns the row count.
-func (t *TableData) Cardinality() int { return len(t.Rows) }
+func (t *TableData) Cardinality() int {
+	t.mu.RLock()
+	n := len(t.Rows)
+	t.mu.RUnlock()
+	return n
+}
 
 // TableRows reports a table's cardinality (0 when not loaded); it implements
 // the rewriter's Sizer interface for cost-based AST applicability.
