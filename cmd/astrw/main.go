@@ -9,6 +9,8 @@
 //
 //	astrw -f script.sql            # run a script
 //	astrw -demo                    # load the paper's star schema + data, then read stdin
+//	astrw -demo -explain           # render the full EXPLAIN report for every SELECT
+//	astrw -demo -obs               # print the observability snapshot at exit
 //	echo "select ..." | astrw -demo
 package main
 
@@ -23,26 +25,20 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/astdb"
 	"repro/internal/catalog"
-	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/parser"
-	"repro/internal/qgm"
-	"repro/internal/resilient"
 	"repro/internal/sqltypes"
-	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
 type shell struct {
-	cat     *catalog.Catalog
-	store   *storage.Store
-	engine  *exec.Engine
-	rw      *core.Rewriter
-	asts    []*core.CompiledAST
-	out     io.Writer
-	maxRows int
-	limits  exec.Limits
+	db         *astdb.Engine
+	out        io.Writer
+	maxRows    int
+	explainAll bool // -explain: render the EXPLAIN report for every SELECT
 }
 
 func main() {
@@ -53,24 +49,37 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query execution timeout (0 = none)")
 	limit := flag.Int("limit", 0, "per-query row-materialization budget (0 = unlimited)")
 	allowStale := flag.Bool("allow-stale", false, "let queries read summary tables marked stale")
+	explain := flag.Bool("explain", false, "render the EXPLAIN report for every SELECT instead of executing it")
+	obsFlag := flag.Bool("obs", false, "record observability data and print the snapshot at exit")
 	flag.Parse()
 
-	sh := &shell{
-		cat:     catalog.New(),
-		store:   storage.NewStore(),
-		out:     os.Stdout,
-		maxRows: *maxRows,
-		limits:  exec.Limits{MaxRows: *limit, Timeout: *timeout},
+	opts := []astdb.Option{
+		astdb.WithLimits(astdb.Config{MaxRows: *limit, Timeout: *timeout}),
+		astdb.WithAllowStale(*allowStale),
 	}
-	sh.engine = exec.NewEngine(sh.store)
-	sh.rw = core.NewRewriter(sh.cat, core.Options{AllowStale: *allowStale})
+	if *obsFlag {
+		opts = append(opts, astdb.WithObserver(obs.New()))
+	}
+	db, err := astdb.Open(catalog.New(), opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "astrw: %v\n", err)
+		os.Exit(1)
+	}
+	sh := &shell{db: db, out: os.Stdout, maxRows: *maxRows, explainAll: *explain}
 
 	if *demo {
-		workload.Schema(sh.cat)
-		workload.Load(sh.cat, sh.store, workload.StarConfig{NumTrans: *scale, Seed: 1})
+		workload.Schema(db.Catalog())
+		workload.Load(db.Catalog(), db.Store(), workload.StarConfig{NumTrans: *scale, Seed: 1})
 		fmt.Fprintf(sh.out, "-- demo schema loaded: trans(%d rows), loc, pgroup, acct, cust\n",
-			sh.store.MustTable("trans").Cardinality())
+			db.Store().MustTable("trans").Cardinality())
 	}
+
+	defer func() {
+		if *obsFlag {
+			fmt.Fprintln(sh.out, "\n-- observability snapshot --")
+			db.Snapshot().Render(sh.out)
+		}
+	}()
 
 	if *file != "" {
 		src, err := os.ReadFile(*file)
@@ -160,9 +169,12 @@ func (sh *shell) exec(stmt parser.Statement) error {
 	case *parser.InsertStmt:
 		return sh.insert(s)
 	case *parser.ExplainStmt:
-		return sh.query(s.Query, true)
+		return sh.explain(s.Query)
 	case *parser.SelectStmt:
-		return sh.query(s, false)
+		if sh.explainAll {
+			return sh.explain(s)
+		}
+		return sh.query(s)
 	case *parser.LoadStmt:
 		return sh.load(s)
 	default:
@@ -174,7 +186,7 @@ func (sh *shell) exec(stmt parser.Statement) error {
 // declared column types. An optional header row matching the column names is
 // skipped. Empty cells become NULL.
 func (sh *shell) load(s *parser.LoadStmt) error {
-	meta, ok := sh.cat.Table(s.Table)
+	meta, ok := sh.db.Catalog().Table(s.Table)
 	if !ok {
 		return fmt.Errorf("table %q not found", s.Table)
 	}
@@ -186,12 +198,8 @@ func (sh *shell) load(s *parser.LoadStmt) error {
 	r := csv.NewReader(f)
 	r.TrimLeadingSpace = true
 	r.FieldsPerRecord = -1 // our own arity check reports a clearer error
-	td, ok := sh.store.Table(s.Table)
-	if !ok {
-		td = sh.store.Create(meta)
-	}
-	n := 0
 	first := true
+	var rows [][]sqltypes.Value
 	for {
 		rec, err := r.Read()
 		if err == io.EOF {
@@ -207,22 +215,24 @@ func (sh *shell) load(s *parser.LoadStmt) error {
 			}
 		}
 		if len(rec) != len(meta.Columns) {
-			return fmt.Errorf("%s: row %d has %d cells, table has %d columns", s.Path, n+1, len(rec), len(meta.Columns))
+			return fmt.Errorf("%s: row %d has %d cells, table has %d columns", s.Path, len(rows)+1, len(rec), len(meta.Columns))
 		}
 		row := make([]sqltypes.Value, len(rec))
 		for i, cell := range rec {
 			v, err := coerceCell(cell, meta.Columns[i].Type)
 			if err != nil {
-				return fmt.Errorf("%s: row %d column %s: %w", s.Path, n+1, meta.Columns[i].Name, err)
+				return fmt.Errorf("%s: row %d column %s: %w", s.Path, len(rows)+1, meta.Columns[i].Name, err)
 			}
 			row[i] = v
 		}
-		if err := td.Insert(row); err != nil {
-			return err
-		}
-		n++
+		rows = append(rows, row)
 	}
-	fmt.Fprintf(sh.out, "-- loaded %d row(s) into %s from %s\n", n, s.Table, s.Path)
+	stats, err := sh.db.Insert(context.Background(), s.Table, rows)
+	if err != nil && stats == nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "-- loaded %d row(s) into %s from %s\n", len(rows), s.Table, s.Path)
+	sh.reportMaintenance(stats)
 	return nil
 }
 
@@ -274,13 +284,11 @@ func (sh *shell) createTable(s *parser.CreateTableStmt) error {
 	for _, c := range s.Columns {
 		t.Columns = append(t.Columns, catalog.Column{Name: c.Name, Type: c.Type, Nullable: !c.NotNull})
 	}
-	if err := sh.cat.AddTable(t); err != nil {
+	if err := sh.db.CreateTable(t); err != nil {
 		return err
 	}
-	meta, _ := sh.cat.Table(s.Name)
-	sh.store.Create(meta)
 	for _, fk := range s.ForeignKeys {
-		if err := sh.cat.AddForeignKey(catalog.ForeignKey{
+		if err := sh.db.AddForeignKey(catalog.ForeignKey{
 			ChildTable: s.Name, ChildCols: fk.Cols,
 			ParentTable: fk.ParentTable, ParentCols: fk.ParentCols,
 		}); err != nil {
@@ -292,29 +300,20 @@ func (sh *shell) createTable(s *parser.CreateTableStmt) error {
 }
 
 func (sh *shell) createAST(s *parser.CreateASTStmt) error {
-	ca, err := sh.rw.CompileAST(catalog.ASTDef{Name: s.Name, SQL: s.Query.SQL()})
+	_, rows, err := sh.db.CreateSummaryTable(context.Background(), s.Name, s.Query.SQL())
 	if err != nil {
 		return err
 	}
-	res, err := sh.engine.Run(ca.Graph)
-	if err != nil {
-		return fmt.Errorf("materializing %s: %w", s.Name, err)
-	}
-	sh.store.Put(ca.Table, res.Rows)
-	sh.asts = append(sh.asts, ca)
-	fmt.Fprintf(sh.out, "-- summary table %s materialized (%d rows)\n", s.Name, len(res.Rows))
+	fmt.Fprintf(sh.out, "-- summary table %s materialized (%d rows)\n", s.Name, rows)
 	return nil
 }
 
 func (sh *shell) insert(s *parser.InsertStmt) error {
-	meta, ok := sh.cat.Table(s.Table)
+	meta, ok := sh.db.Catalog().Table(s.Table)
 	if !ok {
 		return fmt.Errorf("table %q not found", s.Table)
 	}
-	td, ok := sh.store.Table(s.Table)
-	if !ok {
-		td = sh.store.Create(meta)
-	}
+	rows := make([][]sqltypes.Value, 0, len(s.Rows))
 	for _, row := range s.Rows {
 		vals := make([]sqltypes.Value, len(row))
 		for i, e := range row {
@@ -333,46 +332,43 @@ func (sh *shell) insert(s *parser.InsertStmt) error {
 				vals[i] = d
 			}
 		}
-		if err := td.Insert(vals); err != nil {
-			return err
-		}
+		rows = append(rows, vals)
 	}
-	fmt.Fprintf(sh.out, "-- inserted %d row(s) into %s\n", len(s.Rows), s.Table)
+	stats, err := sh.db.Insert(context.Background(), s.Table, rows)
+	if err != nil && stats == nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "-- inserted %d row(s) into %s\n", len(rows), s.Table)
+	sh.reportMaintenance(stats)
 	return nil
 }
 
-func (sh *shell) query(s *parser.SelectStmt, explainOnly bool) error {
-	fmt.Fprintf(sh.out, "\n> %s\n", s.SQL())
-	g, err := qgm.Build(s, sh.cat)
+// reportMaintenance surfaces per-AST refresh outcomes after an insert.
+func (sh *shell) reportMaintenance(stats []astdb.Stats) {
+	for _, st := range stats {
+		if st.Err != nil {
+			fmt.Fprintf(sh.out, "-- degraded: summary table %s refresh failed (now stale): %v\n", st.AST, st.Err)
+			continue
+		}
+		fmt.Fprintf(sh.out, "-- refreshed summary table %s (%s, %d delta rows)\n", st.AST, st.Strategy, st.DeltaRows)
+	}
+}
+
+// explain renders the deterministic EXPLAIN report for one query.
+func (sh *shell) explain(s *parser.SelectStmt) error {
+	fmt.Fprintln(sh.out)
+	rep, err := sh.db.Explain(context.Background(), s.SQL())
 	if err != nil {
 		return err
 	}
-	if explainOnly {
-		plan, res := sh.rw.RewriteOrFallback(context.Background(), g, sh.asts)
-		if res != nil {
-			fmt.Fprintf(sh.out, "-- rewritten to read summary table %s:\n--   %s\n", res.AST.Def.Name, plan.SQL())
-		} else if len(sh.asts) > 0 {
-			fmt.Fprintln(sh.out, "-- no summary table matches; executing against base tables")
-			// Show why each summary table was rejected.
-			for _, ca := range sh.asts {
-				gx, err := qgm.Build(s, sh.cat)
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(sh.out, "--   %s:\n", ca.Def.Name)
-				for _, te := range sh.rw.Explain(gx, ca) {
-					mark := "✗"
-					if te.Matched {
-						mark = "✓"
-					}
-					fmt.Fprintf(sh.out, "--     %s %s vs %s: %s\n", mark, te.Subsumee, te.Subsumer, te.Reason)
-				}
-			}
-		}
-		sh.reportDegradations()
-		return nil
-	}
-	ans, err := resilient.Query(context.Background(), sh.engine, sh.rw, g, sh.asts, sh.limits)
+	rep.Render(sh.out)
+	sh.reportDegradations()
+	return nil
+}
+
+func (sh *shell) query(s *parser.SelectStmt) error {
+	fmt.Fprintf(sh.out, "\n> %s\n", s.SQL())
+	ans, err := sh.db.Query(context.Background(), s.SQL())
 	if err != nil {
 		sh.reportDegradations()
 		return err
@@ -384,13 +380,17 @@ func (sh *shell) query(s *parser.SelectStmt, explainOnly bool) error {
 			name = ans.Rewrite.AST.Def.Name
 		}
 		fmt.Fprintf(sh.out, "-- summary table %s unusable at execution time; answered from base tables\n", name)
-	case ans.Rewrite != nil:
-		fmt.Fprintf(sh.out, "-- rewritten to read summary table %s:\n--   %s\n", ans.Rewrite.AST.Def.Name, ans.Plan.SQL())
-	case len(sh.asts) > 0:
+	case ans.AST != "":
+		note := ""
+		if ans.CacheHit {
+			note = " (cached plan)"
+		}
+		fmt.Fprintf(sh.out, "-- rewritten to read summary table %s%s:\n--   %s\n", ans.AST, note, ans.Plan.SQL())
+	case len(sh.db.ASTs()) > 0:
 		fmt.Fprintln(sh.out, "-- no summary table matches; executing against base tables")
 	}
 	sh.reportDegradations()
-	exec.SortRows(ans.Result.Rows)
+	astdb.SortRows(ans.Result.Rows)
 	sh.printResult(ans.Result)
 	return nil
 }
@@ -398,7 +398,7 @@ func (sh *shell) query(s *parser.SelectStmt, explainOnly bool) error {
 // reportDegradations surfaces recovered failures (match panics, unusable
 // candidates) as comments so degraded service is visible, not silent.
 func (sh *shell) reportDegradations() {
-	for _, d := range sh.rw.Degradations() {
+	for _, d := range sh.db.Degradations() {
 		fmt.Fprintf(sh.out, "-- degraded: %v\n", d)
 	}
 }

@@ -8,9 +8,8 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/astdb"
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/exec"
 	"repro/internal/qgm"
 	"repro/internal/workload"
 )
@@ -41,11 +40,13 @@ func (r *benchReport) ratio(name, slow, fast string) {
 	}
 }
 
-// runEngine returns a benchmark body executing one graph at a worker count.
-func runEngine(eng *exec.Engine, g *qgm.Graph, par int) func(b *testing.B) {
+// runEngine returns a benchmark body executing one graph through a facade
+// pinned to a worker count.
+func runEngine(db *astdb.Engine, g *qgm.Graph) func(b *testing.B) {
 	return func(b *testing.B) {
+		ctx := context.Background()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.RunCtx(context.Background(), g, exec.Limits{Parallelism: par}); err != nil {
+			if _, err := db.Execute(ctx, g); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -56,7 +57,8 @@ func runEngine(eng *exec.Engine, g *qgm.Graph, par int) func(b *testing.B) {
 // reader of BENCH_<n>.json cares about: rewritten plans beat original plans
 // (the paper's point), parallel execution beats serial on grouping-heavy
 // plans (this engine's point, cores permitting), and cached rewrites beat
-// cold matching (the plan cache's point).
+// cold matching (the plan cache's point). All pipeline work goes through the
+// astdb facade.
 func runJSON(path string, scale int) error {
 	rep := &benchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -64,13 +66,17 @@ func runJSON(path string, scale int) error {
 		NsPerOp:    map[string]float64{},
 		Ratios:     map[string]float64{},
 	}
+	ctx := context.Background()
 
-	env := bench.NewEnv(scale, core.Options{})
+	env := bench.NewEnvDefault(scale)
 	for name, sql := range bench.ASTDefs {
 		if _, err := env.RegisterAST(name, sql); err != nil {
 			return fmt.Errorf("register %s: %w", name, err)
 		}
 	}
+	// Two execution facades over one environment: serial and all-cores.
+	serial := env.DB(astdb.WithLimits(astdb.Config{Parallelism: 1}))
+	parallel := env.DB(astdb.WithLimits(astdb.Config{Parallelism: 0}))
 
 	// Original-vs-rewritten on the headline paper pairings, serial and
 	// parallel on the grouping-heavy ones.
@@ -85,16 +91,16 @@ func runJSON(path string, scale int) error {
 		if err != nil {
 			return err
 		}
-		rw, err := qgm.BuildSQL(bench.Queries[pair.q], env.Cat)
+		cr, err := serial.Rewrite(ctx, bench.Queries[pair.q], pair.a)
 		if err != nil {
 			return err
 		}
-		if env.RW.Rewrite(rw, env.ASTs[pair.a]) == nil {
+		if cr.AST == "" {
 			return fmt.Errorf("%s did not rewrite against %s", pair.q, pair.a)
 		}
-		rep.measure(pair.bench+"/original/serial", runEngine(env.Engine, orig, 1))
-		rep.measure(pair.bench+"/original/parallel", runEngine(env.Engine, orig, 0))
-		rep.measure(pair.bench+"/rewritten/serial", runEngine(env.Engine, rw, 1))
+		rep.measure(pair.bench+"/original/serial", runEngine(serial, orig))
+		rep.measure(pair.bench+"/original/parallel", runEngine(parallel, orig))
+		rep.measure(pair.bench+"/rewritten/serial", runEngine(serial, cr.Plan))
 		rep.ratio(pair.bench+"/rewrite_speedup", pair.bench+"/original/serial", pair.bench+"/rewritten/serial")
 		rep.ratio(pair.bench+"/parallel_speedup", pair.bench+"/original/serial", pair.bench+"/original/parallel")
 	}
@@ -105,20 +111,19 @@ func runJSON(path string, scale int) error {
 	if err != nil {
 		return err
 	}
-	rep.measure("E08/serial", runEngine(env.Engine, e08, 1))
-	rep.measure("E08/parallel", runEngine(env.Engine, e08, 0))
+	rep.measure("E08/serial", runEngine(serial, e08))
+	rep.measure("E08/parallel", runEngine(parallel, e08))
 	rep.ratio("E08/parallel_speedup", "E08/serial", "E08/parallel")
 
 	// E14 DS suite, original vs routed, serial vs parallel.
-	dsEnv := bench.NewEnv(scale, core.Options{})
-	var asts []*core.CompiledAST
+	dsEnv := bench.NewEnvDefault(scale)
 	for _, d := range workload.DSASTs {
-		ca, err := dsEnv.RegisterAST(d.Name, d.SQL)
-		if err != nil {
+		if _, err := dsEnv.RegisterAST(d.Name, d.SQL); err != nil {
 			return err
 		}
-		asts = append(asts, ca)
 	}
+	dsSerial := dsEnv.DB(astdb.WithLimits(astdb.Config{Parallelism: 1}))
+	dsParallel := dsEnv.DB(astdb.WithLimits(astdb.Config{Parallelism: 0}))
 	var origs, rewrites []*qgm.Graph
 	for _, q := range workload.DSQueries {
 		og, err := qgm.BuildSQL(q.SQL, dsEnv.Cat)
@@ -126,50 +131,53 @@ func runJSON(path string, scale int) error {
 			return err
 		}
 		origs = append(origs, og)
-		rg, _ := qgm.BuildSQL(q.SQL, dsEnv.Cat)
-		dsEnv.RW.RewriteBestCost(rg, asts, dsEnv.Store)
-		rewrites = append(rewrites, rg)
+		cr, err := dsSerial.Rewrite(ctx, q.SQL)
+		if err != nil {
+			return err
+		}
+		rewrites = append(rewrites, cr.Plan)
 	}
-	runSuite := func(gs []*qgm.Graph, par int) func(b *testing.B) {
+	runSuite := func(db *astdb.Engine, gs []*qgm.Graph) func(b *testing.B) {
 		return func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, g := range gs {
-					if _, err := dsEnv.Engine.RunCtx(context.Background(), g, exec.Limits{Parallelism: par}); err != nil {
+					if _, err := db.Execute(ctx, g); err != nil {
 						b.Fatal(err)
 					}
 				}
 			}
 		}
 	}
-	rep.measure("E14/original/serial", runSuite(origs, 1))
-	rep.measure("E14/original/parallel", runSuite(origs, 0))
-	rep.measure("E14/rewritten/serial", runSuite(rewrites, 1))
-	rep.measure("E14/rewritten/parallel", runSuite(rewrites, 0))
+	rep.measure("E14/original/serial", runSuite(dsSerial, origs))
+	rep.measure("E14/original/parallel", runSuite(dsParallel, origs))
+	rep.measure("E14/rewritten/serial", runSuite(dsSerial, rewrites))
+	rep.measure("E14/rewritten/parallel", runSuite(dsParallel, rewrites))
 	rep.ratio("E14/rewrite_speedup", "E14/original/serial", "E14/rewritten/serial")
 	rep.ratio("E14/parallel_speedup", "E14/original/serial", "E14/original/parallel")
 
-	// E13 cold match vs cached rewrite for a repeated query.
+	// E13 cold match vs cached rewrite for a repeated query. The cold leg runs
+	// through a cache-less facade so every iteration pays full matching; the
+	// cached leg must hit on every iteration.
+	cold := env.DB(astdb.WithPlanCache(-1))
 	rep.measure("E13/match/q1", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			g, err := qgm.BuildSQL(bench.Queries["q1"], env.Cat)
+			cr, err := cold.Rewrite(ctx, bench.Queries["q1"], "ast1")
 			if err != nil {
 				b.Fatal(err)
 			}
-			if env.RW.Rewrite(g, env.ASTs["ast1"]) == nil {
+			if cr.AST == "" {
 				b.Fatal("no rewrite")
 			}
 		}
 	})
+	cached := env.DB(astdb.WithPlanCache(64))
 	rep.measure("E13/cached/q1", func(b *testing.B) {
-		cache := core.NewPlanCache(64)
-		candidates := []*core.CompiledAST{env.ASTs["ast1"]}
-		ctx := context.Background()
-		if cr, err := env.RW.RewriteSQLCached(ctx, cache, bench.Queries["q1"], candidates, env.Store); err != nil || cr.AST == "" {
+		if cr, err := cached.Rewrite(ctx, bench.Queries["q1"]); err != nil || cr.AST == "" {
 			b.Fatalf("warmup did not rewrite: %+v err=%v", cr, err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			cr, err := env.RW.RewriteSQLCached(ctx, cache, bench.Queries["q1"], candidates, env.Store)
+			cr, err := cached.Rewrite(ctx, bench.Queries["q1"])
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/astdb"
+	"repro/internal/bench"
+	"repro/internal/obs"
+)
+
+// runObs runs the paper's query suite through the astdb facade with an
+// observer attached and dumps the observability snapshot: spans across the
+// pipeline stages, per-pattern match counters, plan-cache statistics, and
+// latency histograms. Each query runs twice so the second pass exercises the
+// plan-cache hit path.
+func runObs(w io.Writer, scale int) error {
+	env := bench.NewEnvDefault(scale)
+	astNames := make([]string, 0, len(bench.ASTDefs))
+	for name := range bench.ASTDefs {
+		astNames = append(astNames, name)
+	}
+	sort.Strings(astNames)
+	for _, name := range astNames {
+		if _, err := env.RegisterAST(name, bench.ASTDefs[name]); err != nil {
+			return fmt.Errorf("register %s: %w", name, err)
+		}
+	}
+
+	db := env.DB(astdb.WithObserver(obs.New()))
+	qNames := make([]string, 0, len(bench.Queries))
+	for name := range bench.Queries {
+		qNames = append(qNames, name)
+	}
+	sort.Strings(qNames)
+
+	ctx := context.Background()
+	for pass := 1; pass <= 2; pass++ {
+		for _, name := range qNames {
+			ans, err := db.Query(ctx, bench.Queries[name])
+			if err != nil {
+				return fmt.Errorf("%s (pass %d): %w", name, pass, err)
+			}
+			if pass == 1 {
+				target := "base tables"
+				if ans.AST != "" {
+					target = "summary table " + ans.AST
+				}
+				fmt.Fprintf(w, "%-8s -> %s (%d rows)\n", name, target, len(ans.Result.Rows))
+			}
+		}
+	}
+
+	fmt.Fprintln(w, "\n== observability snapshot ==")
+	db.Snapshot().Render(w)
+	return nil
+}

@@ -9,8 +9,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
+	"repro/astdb"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -45,6 +47,24 @@ func NewEnv(numTrans int, opts core.Options) *Env {
 		Cfg:    cfg,
 		ASTs:   map[string]*core.CompiledAST{},
 	}
+}
+
+// NewEnvDefault is NewEnv with the paper-faithful default options.
+func NewEnvDefault(numTrans int) *Env { return NewEnv(numTrans, core.Options{}) }
+
+// DB wraps the environment in the astdb facade, handing it the summary tables
+// registered so far in name order (ASTs registered afterwards are not seen).
+func (e *Env) DB(opts ...astdb.Option) *astdb.Engine {
+	names := make([]string, 0, len(e.ASTs))
+	for n := range e.ASTs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	asts := make([]*core.CompiledAST, 0, len(names))
+	for _, n := range names {
+		asts = append(asts, e.ASTs[n])
+	}
+	return astdb.Wrap(e.RW, e.Engine, asts, opts...)
 }
 
 // RegisterAST compiles an AST definition, materializes it into the store, and

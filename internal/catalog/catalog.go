@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sqltypes"
 )
 
@@ -107,6 +108,7 @@ type Catalog struct {
 	statusMu        sync.Mutex
 	status          map[string]*ASTStatus
 	quarantineAfter int
+	obsv            *obs.Observer // nil = observability disabled
 }
 
 // DefaultQuarantineThreshold is the number of consecutive refresh failures
@@ -329,6 +331,11 @@ type ASTStatus struct {
 	Failures int
 }
 
+// SetObserver attaches an observer recording AST freshness transitions
+// (fresh/stale/quarantine) as counters and sequenced events; nil detaches.
+// Not safe to call concurrently with status updates.
+func (c *Catalog) SetObserver(o *obs.Observer) { c.obsv = o }
+
 // SetQuarantineThreshold overrides the consecutive-failure count that trips
 // the circuit breaker. n <= 0 restores the default.
 func (c *Catalog) SetQuarantineThreshold(n int) {
@@ -366,12 +373,16 @@ func (c *Catalog) statusFor(name string) *ASTStatus {
 // recompute is the only way out of quarantine.
 func (c *Catalog) MarkFresh(name string) {
 	c.statusMu.Lock()
-	defer c.statusMu.Unlock()
 	st := c.statusFor(name)
 	st.Epoch++
 	st.Stale = false
 	st.Quarantined = false
 	st.Failures = 0
+	c.statusMu.Unlock()
+	c.obsv.Add("catalog.ast.fresh", 1)
+	if c.obsv.Enabled() {
+		c.obsv.Emit("catalog.fresh", name)
+	}
 }
 
 // MarkStale flags the AST's materialization as out of date without counting
@@ -379,8 +390,12 @@ func (c *Catalog) MarkFresh(name string) {
 // base insert lands without the AST being refreshed).
 func (c *Catalog) MarkStale(name string) {
 	c.statusMu.Lock()
-	defer c.statusMu.Unlock()
 	c.statusFor(name).Stale = true
+	c.statusMu.Unlock()
+	c.obsv.Add("catalog.ast.stale", 1)
+	if c.obsv.Enabled() {
+		c.obsv.Emit("catalog.stale", name)
+	}
 }
 
 // RecordRefreshFailure marks the AST stale, increments its consecutive
@@ -388,14 +403,27 @@ func (c *Catalog) MarkStale(name string) {
 // reached. It returns the updated status.
 func (c *Catalog) RecordRefreshFailure(name string) ASTStatus {
 	c.statusMu.Lock()
-	defer c.statusMu.Unlock()
 	st := c.statusFor(name)
 	st.Stale = true
 	st.Failures++
+	tripped := false
 	if st.Failures >= c.quarantineAfter {
+		tripped = !st.Quarantined
 		st.Quarantined = true
 	}
-	return *st
+	out := *st
+	c.statusMu.Unlock()
+	c.obsv.Add("catalog.ast.refresh_failures", 1)
+	if tripped {
+		c.obsv.Add("catalog.ast.quarantines", 1)
+	}
+	if c.obsv.Enabled() {
+		c.obsv.Emit("catalog.refresh_failure", name)
+		if tripped {
+			c.obsv.Emit("catalog.quarantine", name)
+		}
+	}
+	return out
 }
 
 // Usable reports whether the rewriter may route queries to the AST:

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/qgm"
 )
 
@@ -62,6 +63,11 @@ type Options struct {
 type Match struct {
 	Subsumee *qgm.Box
 	Subsumer *qgm.Box
+
+	// Pattern names the paper pattern that established the match ("§4.1.1" …
+	// "§4.2.4", "§5.1", "§5.2", "base table"); EXPLAIN and the per-pattern
+	// match counters report it.
+	Pattern string
 
 	// Exact marks an empty compensation: subsumee output column i is
 	// subsumer output column ColMap[i] (the subsumer may produce extra
@@ -115,6 +121,7 @@ type TraceEntry struct {
 	Subsumer string // AST box label
 	Matched  bool
 	Exact    bool
+	Pattern  string // paper pattern that matched ("§4.1.1" …); empty on rejects
 	Reason   string // failure reason (references the paper's condition) or compensation summary
 }
 
@@ -122,6 +129,7 @@ type TraceEntry struct {
 type Matcher struct {
 	cat  *catalog.Catalog
 	opts Options
+	obsv *obs.Observer // set by the Rewriter; nil when observability is off
 
 	eg *qgm.Graph // subsumee (query) graph; compensation boxes allocate here
 	rg *qgm.Graph // subsumer (AST) graph
@@ -141,6 +149,7 @@ func (m *Matcher) Trace() []TraceEntry { return m.trace }
 // reject records a failed candidate pair and returns nil, for use as a
 // one-line failure return in the pattern implementations.
 func (m *Matcher) reject(e, r *qgm.Box, format string, args ...any) *Match {
+	m.obsv.Add(CtrMatchRejects, 1)
 	if m.opts.Trace {
 		m.trace = append(m.trace, TraceEntry{
 			Subsumee: e.Label, Subsumer: r.Label,
@@ -151,10 +160,16 @@ func (m *Matcher) reject(e, r *qgm.Box, format string, args ...any) *Match {
 }
 
 func (m *Matcher) accept(match *Match) *Match {
+	if match != nil {
+		m.obsv.Add(CtrMatchAccepts, 1)
+		if m.obsv.Enabled() && match.Pattern != "" {
+			m.obsv.Add("core.match.accept."+match.Pattern, 1)
+		}
+	}
 	if m.opts.Trace && match != nil {
 		te := TraceEntry{
 			Subsumee: match.Subsumee.Label, Subsumer: match.Subsumer.Label,
-			Matched: true, Exact: match.Exact,
+			Matched: true, Exact: match.Exact, Pattern: match.Pattern,
 		}
 		if match.Exact {
 			te.Reason = "exact (projection only)"
@@ -269,7 +284,7 @@ func (m *Matcher) matchPair(e, r *qgm.Box) *Match {
 		for i := range colMap {
 			colMap[i] = i
 		}
-		return m.accept(&Match{Subsumee: e, Subsumer: r, Exact: true, ColMap: colMap})
+		return m.accept(&Match{Subsumee: e, Subsumer: r, Exact: true, ColMap: colMap, Pattern: "base table"})
 	case qgm.SelectBox:
 		return m.accept(m.matchSelect(e, r))
 	case qgm.GroupByBox:

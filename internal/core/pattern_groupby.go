@@ -58,7 +58,11 @@ func (m *Matcher) matchGroupBy(e, r *qgm.Box) *Match {
 		if res == nil {
 			return m.reject(e, r, "no subsumer cuboid satisfies the grouping/aggregate/pull-up conditions (§4.1.2/§4.2.1/§5)")
 		}
-		return m.finishGBMatch(e, r, res)
+		match := m.finishGBMatch(e, r, res)
+		if match != nil {
+			match.Pattern = gbPattern(view, r, mm.Exact)
+		}
+		return match
 	}
 
 	// §4.2.2: the child compensation contains grouping. Recursively match the
@@ -109,9 +113,27 @@ func (m *Matcher) matchGroupBy(e, r *qgm.Box) *Match {
 	}
 	stack = append(stack, eCopy)
 
-	match := &Match{Subsumee: e, Subsumer: r, Stack: stack, SubQ: res.qSub}
+	match := &Match{Subsumee: e, Subsumer: r, Stack: stack, SubQ: res.qSub, Pattern: "§4.2.2"}
 	match.indexComp()
 	return match
+}
+
+// gbPattern names the paper pattern a GROUP BY match was established under:
+// the multidimensional patterns take precedence (a multi-grouping-set
+// subsumee is §5.2, a cube AST serving a simple GROUP BY is §5.1), then the
+// shape of the child compensation decides §4.1.2 (exact child) vs §4.2.1
+// (SELECT-compensated child).
+func gbPattern(view *gbView, r *qgm.Box, childExact bool) string {
+	switch {
+	case len(view.groupingSets) > 1:
+		return "§5.2"
+	case len(r.GroupingSets) > 1:
+		return "§5.1"
+	case childExact:
+		return "§4.1.2"
+	default:
+		return "§4.2.1"
+	}
 }
 
 // viewFromQueryGB builds the subsumee view for a query GROUP BY box whose

@@ -127,9 +127,21 @@ func (m *Matcher) matchSelect(e, r *qgm.Box) *Match {
 	}
 
 	if gbPair == nil {
-		return m.buildSelectComp(e, r, a, t, eqR, pool)
+		mm := m.buildSelectComp(e, r, a, t, eqR, pool)
+		if mm != nil {
+			if len(selPairs) > 0 {
+				mm.Pattern = "§4.2.3"
+			} else {
+				mm.Pattern = "§4.1.1"
+			}
+		}
+		return mm
 	}
-	return m.buildSelectGBComp(e, r, a, gbPair, t, eqR, pool)
+	mm := m.buildSelectGBComp(e, r, a, gbPair, t, eqR, pool)
+	if mm != nil {
+		mm.Pattern = "§4.2.4"
+	}
+	return mm
 }
 
 // poolEntry is one subsumee-side predicate (from the subsumee itself or from

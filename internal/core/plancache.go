@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/qgm"
 )
 
@@ -28,7 +29,7 @@ type PlanCache struct {
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
 
-	hits, misses int64
+	hits, misses, evictions int64
 }
 
 type cacheEntry struct {
@@ -62,6 +63,14 @@ func (c *PlanCache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// Evictions returns how many entries capacity pressure has evicted over the
+// cache's lifetime.
+func (c *PlanCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
 // get returns a private clone of the cached plan for key, promoting the entry.
 func (c *PlanCache) get(key string) (*qgm.Graph, string, bool) {
 	c.mu.Lock()
@@ -82,24 +91,27 @@ func (c *PlanCache) get(key string) (*qgm.Graph, string, bool) {
 }
 
 // put stores a private clone of plan under key, evicting the least recently
-// used entry past capacity.
-func (c *PlanCache) put(key string, plan *qgm.Graph, ast string) {
+// used entries past capacity; it returns how many entries were evicted.
+func (c *PlanCache) put(key string, plan *qgm.Graph, ast string) int {
 	stored := plan.Clone()
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).plan = stored
 		el.Value.(*cacheEntry).ast = ast
-		c.mu.Unlock()
-		return
+		return 0
 	}
 	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, plan: stored, ast: ast})
+	evicted := 0
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.byKey, back.Value.(*cacheEntry).key)
+		evicted++
 	}
-	c.mu.Unlock()
+	c.evictions += int64(evicted)
+	return evicted
 }
 
 // NormalizeSQL canonicalizes a query string for cache keying: runs of
@@ -179,11 +191,19 @@ type CachedRewrite struct {
 // like RewriteOrFallback), and caches the outcome — including negative
 // outcomes, so a query no AST serves stops paying match overhead too.
 func (rw *Rewriter) RewriteSQLCached(ctx context.Context, cache *PlanCache, sql string, asts []*CompiledAST, sizer Sizer) (*CachedRewrite, error) {
+	span := obs.SpanFromContext(ctx)
+	lookup := span.Child("plancache.lookup")
 	key := rw.cacheKey(sql, asts)
-	if plan, astName, ok := cache.get(key); ok {
+	plan, astName, ok := cache.get(key)
+	lookup.End()
+	if ok {
+		rw.obsv.Add(CtrCacheHits, 1)
 		return &CachedRewrite{Plan: plan, AST: astName, Hit: true}, nil
 	}
+	rw.obsv.Add(CtrCacheMisses, 1)
+	parse := span.Child("parse")
 	query, err := qgm.BuildSQL(sql, rw.cat)
+	parse.End()
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +214,7 @@ func (rw *Rewriter) RewriteSQLCached(ctx context.Context, cache *PlanCache, sql 
 	} else {
 		res = rw.RewriteBestCtx(ctx, clone, asts)
 	}
-	plan, astName := query, ""
+	plan, astName = query, ""
 	if res != nil {
 		if err := clone.Validate(); err != nil {
 			rw.noteDegraded(fmt.Errorf("core: discarding invalid rewrite against %q: %w", res.AST.Def.Name, err))
@@ -203,6 +223,6 @@ func (rw *Rewriter) RewriteSQLCached(ctx context.Context, cache *PlanCache, sql 
 			plan, astName = clone, res.AST.Def.Name
 		}
 	}
-	cache.put(key, plan, astName)
+	rw.obsv.Add(CtrCacheEvictions, int64(cache.put(key, plan, astName)))
 	return &CachedRewrite{Plan: plan, AST: astName, Rewrite: res}, nil
 }

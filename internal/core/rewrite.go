@@ -8,8 +8,23 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/qgm"
+)
+
+// Observability counter names reported by the rewriter. Constant strings keep
+// the disabled fast path allocation-free; the taxonomy is documented in
+// DESIGN.md §9.
+const (
+	CtrMatchCandidates = "core.match.candidates"
+	CtrMatchAccepts    = "core.match.accepts"
+	CtrMatchRejects    = "core.match.rejects"
+	CtrMatchPanics     = "core.match.panics"
+	CtrDegradations    = "core.degradations"
+	CtrCacheHits       = "core.plancache.hits"
+	CtrCacheMisses     = "core.plancache.misses"
+	CtrCacheEvictions  = "core.plancache.evictions"
 )
 
 // CompiledAST is a registered Automatic Summary Table ready for matching: its
@@ -28,10 +43,19 @@ type CompiledAST struct {
 type Rewriter struct {
 	cat  *catalog.Catalog
 	opts Options
+	obsv *obs.Observer // nil = observability disabled
 
 	mu       sync.Mutex
-	degraded []error
+	degraded []DegradationEvent
 	dropped  int // degradation events evicted since the last drain
+}
+
+// DegradationEvent is one recorded degradation, stamped with a process-wide
+// monotonic sequence number (obs.NextSeq) so it can be ordered against
+// catalog and maintenance events on one total order.
+type DegradationEvent struct {
+	Seq uint64
+	Err error
 }
 
 // maxDegradations bounds the degradation events retained between drains. A
@@ -47,6 +71,11 @@ func NewRewriter(cat *catalog.Catalog, opts Options) *Rewriter {
 
 // Catalog returns the rewriter's catalog.
 func (rw *Rewriter) Catalog() *catalog.Catalog { return rw.cat }
+
+// SetObserver attaches an observer recording match counters, cache
+// statistics, and the degradation event stream; nil detaches. Not safe to
+// call concurrently with rewrites.
+func (rw *Rewriter) SetObserver(o *obs.Observer) { rw.obsv = o }
 
 // CompileAST parses and compiles an AST definition. The returned Table
 // describes the materialized result (callers register it in the catalog and
@@ -93,32 +122,56 @@ func (e *MatchPanicError) Error() string {
 }
 
 // noteDegraded records a degradation event for later inspection, evicting the
-// oldest retained event once the buffer holds maxDegradations.
+// oldest retained event once the buffer holds maxDegradations. Each event
+// draws a process-wide sequence number and, when an observer is attached, is
+// mirrored into its event stream under the same number.
 func (rw *Rewriter) noteDegraded(err error) {
+	ev := DegradationEvent{Seq: obs.NextSeq(), Err: err}
 	rw.mu.Lock()
 	if len(rw.degraded) >= maxDegradations {
 		copy(rw.degraded, rw.degraded[1:])
-		rw.degraded[len(rw.degraded)-1] = err
+		rw.degraded[len(rw.degraded)-1] = ev
 		rw.dropped++
 	} else {
-		rw.degraded = append(rw.degraded, err)
+		rw.degraded = append(rw.degraded, ev)
 	}
 	rw.mu.Unlock()
+	rw.obsv.Add(CtrDegradations, 1)
+	if rw.obsv.Enabled() {
+		rw.obsv.EmitSeq(ev.Seq, "core.degraded", err.Error())
+	}
 }
 
-// Degradations drains and returns the degradation events (recovered match
+// Degradations drains and returns the degradation errors (recovered match
 // panics, discarded invalid rewrites) recorded since the last call. At most
 // maxDegradations events are retained between drains; when older events were
-// evicted, the first entry is a synthetic error reporting how many.
+// evicted, the first entry is a synthetic error reporting how many. Use
+// DegradationEvents to also get the sequence numbers.
 func (rw *Rewriter) Degradations() []error {
-	rw.mu.Lock()
-	out := rw.degraded
-	if rw.dropped > 0 {
-		out = append([]error{fmt.Errorf("core: %d older degradation events dropped", rw.dropped)}, out...)
+	events, dropped := rw.DegradationEvents()
+	out := make([]error, 0, len(events)+1)
+	if dropped > 0 {
+		out = append(out, fmt.Errorf("core: %d older degradation events dropped", dropped))
 	}
+	for _, ev := range events {
+		out = append(out, ev.Err)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// DegradationEvents drains and returns the sequenced degradation events
+// recorded since the last call, plus how many older events were evicted from
+// the bounded buffer before this drain.
+func (rw *Rewriter) DegradationEvents() ([]DegradationEvent, int) {
+	rw.mu.Lock()
+	events := rw.degraded
+	dropped := rw.dropped
 	rw.degraded, rw.dropped = nil, 0
 	rw.mu.Unlock()
-	return out
+	return events, dropped
 }
 
 // usable reports whether an AST may serve rewrites right now: quarantined
@@ -136,14 +189,17 @@ func (rw *Rewriter) safeMatches(ctx context.Context, query *qgm.Graph, ast *Comp
 	defer func() {
 		if r := recover(); r != nil {
 			out = nil
+			rw.obsv.Add(CtrMatchPanics, 1)
 			rw.noteDegraded(&MatchPanicError{AST: ast.Def.Name, Value: r})
 		}
 	}()
+	rw.obsv.Add(CtrMatchCandidates, 1)
 	if err := faultinject.Hit("core.match:" + ast.Def.Name); err != nil {
 		rw.noteDegraded(err)
 		return nil
 	}
 	matcher := NewMatcher(rw.cat, query, ast.Graph, rw.opts)
+	matcher.obsv = rw.obsv
 	return matcher.RunCtx(ctx)
 }
 
@@ -195,6 +251,8 @@ func (rw *Rewriter) RewriteBest(query *qgm.Graph, asts []*CompiledAST) *Result {
 // expires, matching stops and whatever best candidate was established so far
 // is applied (or none).
 func (rw *Rewriter) RewriteBestCtx(ctx context.Context, query *qgm.Graph, asts []*CompiledAST) *Result {
+	span := obs.SpanFromContext(ctx).Child("match")
+	defer span.End()
 	type cand struct {
 		ast *CompiledAST
 		mm  *Match
@@ -241,12 +299,24 @@ func (rw *Rewriter) RewriteOrFallback(ctx context.Context, query *qgm.Graph, ast
 // returns the per-candidate-pair decision log: which box pairs matched, which
 // failed, and which of the paper's conditions rejected them.
 func (rw *Rewriter) Explain(query *qgm.Graph, ast *CompiledAST) []TraceEntry {
+	_, trace := rw.ExplainMatches(query, ast)
+	return trace
+}
+
+// ExplainMatches is Explain returning the established root matches alongside
+// the decision log, so callers (EXPLAIN reports) can also cost the candidate.
+// Matching allocates compensation boxes in the query graph; pass a throwaway
+// graph.
+func (rw *Rewriter) ExplainMatches(query *qgm.Graph, ast *CompiledAST) ([]*Match, []TraceEntry) {
 	opts := rw.opts
 	opts.Trace = true
 	matcher := NewMatcher(rw.cat, query, ast.Graph, opts)
-	matcher.Run()
-	return matcher.Trace()
+	matches := matcher.Run()
+	return matches, matcher.Trace()
 }
+
+// Options returns the rewriter's option set.
+func (rw *Rewriter) Options() Options { return rw.opts }
 
 // Sizer estimates table cardinalities for cost-based AST applicability —
 // problem (b) of the paper's introduction ("deciding whether an AST should
@@ -275,6 +345,8 @@ func (rw *Rewriter) RewriteBestCost(query *qgm.Graph, asts []*CompiledAST, sizer
 // spliced. Each candidate's match runs behind the usual safeMatches recover
 // barrier; a panicking candidate drops out of the race, never the query.
 func (rw *Rewriter) RewriteBestCostCtx(ctx context.Context, query *qgm.Graph, asts []*CompiledAST, sizer Sizer) *Result {
+	span := obs.SpanFromContext(ctx).Child("match")
+	defer span.End()
 	var usable []*CompiledAST
 	for _, ast := range asts {
 		if rw.usable(ast) {
@@ -350,11 +422,18 @@ func (rw *Rewriter) bestGain(ctx context.Context, clone *qgm.Graph, ast *Compile
 }
 
 // costGain estimates base-plan cost minus rewritten cost for one match, in
-// rows scanned. Each base-table quantifier under the replaced subtree counts
-// once (a scan per join operand); the rewritten side scans the materialized
-// AST plus any rejoined base tables in the compensation.
+// rows scanned.
 func (rw *Rewriter) costGain(mm *Match, ast *CompiledAST, sizer Sizer) int {
-	baseCost := 0
+	base, rewritten := rw.CostEstimate(mm, ast, sizer)
+	return base - rewritten
+}
+
+// CostEstimate returns the scan-cost model behind cost-based rewrite
+// selection, in rows read: the base plan's cost counts each base-table
+// quantifier under the replaced subtree once (a scan per join operand); the
+// rewritten plan's cost is the materialized AST's rows plus any rejoined base
+// tables in the compensation. EXPLAIN surfaces both numbers per candidate.
+func (rw *Rewriter) CostEstimate(mm *Match, ast *CompiledAST, sizer Sizer) (baseRows, rewrittenRows int) {
 	seen := map[int]bool{}
 	var walk func(b *qgm.Box)
 	walk = func(b *qgm.Box) {
@@ -364,7 +443,7 @@ func (rw *Rewriter) costGain(mm *Match, ast *CompiledAST, sizer Sizer) int {
 		seen[b.ID] = true
 		for _, q := range b.Quantifiers {
 			if q.Box.Kind == qgm.BaseTableBox {
-				baseCost += sizer.TableRows(q.Box.Table.Name)
+				baseRows += sizer.TableRows(q.Box.Table.Name)
 			} else {
 				walk(q.Box)
 			}
@@ -372,15 +451,15 @@ func (rw *Rewriter) costGain(mm *Match, ast *CompiledAST, sizer Sizer) int {
 	}
 	walk(mm.Subsumee)
 
-	newCost := sizer.TableRows(ast.Def.Name)
+	rewrittenRows = sizer.TableRows(ast.Def.Name)
 	for _, b := range mm.Stack {
 		for _, q := range b.Quantifiers {
 			if q != mm.SubQ && q.Box.Kind == qgm.BaseTableBox {
-				newCost += sizer.TableRows(q.Box.Table.Name)
+				rewrittenRows += sizer.TableRows(q.Box.Table.Name)
 			}
 		}
 	}
-	return baseCost - newCost
+	return baseRows, rewrittenRows
 }
 
 // RewriteAll routes the query towards multiple ASTs by the paper's iterative

@@ -24,10 +24,24 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/qgm"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
+)
+
+// Observability counter and histogram names reported by the engine. They are
+// constant strings so instrumented hot paths stay allocation-free when the
+// observer is disabled; the full taxonomy is documented in DESIGN.md §9.
+const (
+	CtrRuns            = "exec.runs"
+	CtrRowsScanned     = "exec.rows.scanned"
+	CtrRowsEmitted     = "exec.rows.emitted"
+	CtrParallelOps     = "exec.parallel.ops"
+	CtrParallelWorkers = "exec.parallel.workers"
+	HistRun            = "exec.run"
 )
 
 // Result is the output of running a graph.
@@ -39,6 +53,7 @@ type Result struct {
 // Engine runs QGM graphs against a store.
 type Engine struct {
 	store *storage.Store
+	obsv  *obs.Observer // nil = observability disabled (the common case)
 }
 
 // NewEngine returns an engine over the store.
@@ -46,16 +61,40 @@ func NewEngine(store *storage.Store) *Engine {
 	return &Engine{store: store}
 }
 
+// Store returns the storage the engine runs against.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// SetObserver attaches an observer; nil detaches. Not safe to call
+// concurrently with runs.
+func (e *Engine) SetObserver(o *obs.Observer) { e.obsv = o }
+
 // Run evaluates the graph with no budget and returns its result.
 func (e *Engine) Run(g *qgm.Graph) (*Result, error) {
-	return e.RunCtx(context.Background(), g, Limits{})
+	return e.RunCtx(context.Background(), g, Config{})
+}
+
+// runSpan opens the "exec" span for one run: nested under the span carried by
+// ctx when there is one, a root span of the engine's own observer otherwise.
+// Disabled on both ends it is the zero span and costs nothing.
+func (e *Engine) runSpan(ctx context.Context) obs.Span {
+	if parent := obs.SpanFromContext(ctx); parent.Enabled() {
+		return parent.Child("exec")
+	}
+	return e.obsv.Start("exec")
 }
 
 // RunCtx evaluates the graph under a context and a resource budget. It
-// returns an error wrapping ErrCanceled when the context (or Limits.Timeout)
+// returns an error wrapping ErrCanceled when the context (or Config.Timeout)
 // expires mid-run and one wrapping ErrBudgetExceeded when the run
-// materializes more than Limits.MaxRows rows.
-func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Limits) (*Result, error) {
+// materializes more than Config.MaxRows rows.
+func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Config) (*Result, error) {
+	span := e.runSpan(ctx)
+	defer span.End()
+	e.obsv.Add(CtrRuns, 1)
+	var began time.Time
+	if e.obsv.Enabled() {
+		began = time.Now()
+	}
 	if lim.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
@@ -68,6 +107,7 @@ func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Limits) (*Result,
 		bud:   bud,
 		chg:   charger{b: bud},
 		par:   lim.Parallelism,
+		obsv:  e.obsv,
 	}
 	rows, err := ev.evalBox(g.Root)
 	if err != nil {
@@ -75,6 +115,10 @@ func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Limits) (*Result,
 	}
 	if err := ev.chg.flush(); err != nil {
 		return nil, err
+	}
+	e.obsv.Add(CtrRowsEmitted, int64(len(rows)))
+	if e.obsv.Enabled() {
+		e.obsv.Observe(HistRun, time.Since(began))
 	}
 	// A base-table root would hand the caller the table's live row slice;
 	// consumers sort Result.Rows in place, which must never reorder storage.
@@ -101,9 +145,10 @@ type evaluator struct {
 	store *storage.Store
 	memo  map[int][][]sqltypes.Value
 
-	bud *runBudget
-	chg charger // the main goroutine's charger; workers get their own
-	par int     // Limits.Parallelism (0 = GOMAXPROCS)
+	bud  *runBudget
+	chg  charger // the main goroutine's charger; workers get their own
+	par  int     // Config.Parallelism (0 = GOMAXPROCS)
+	obsv *obs.Observer
 }
 
 // checkpoint charges n materialized rows against the shared budget and
@@ -126,6 +171,7 @@ func (ev *evaluator) evalBox(b *qgm.Box) ([][]sqltypes.Value, error) {
 	case qgm.BaseTableBox:
 		rows, err = ev.store.Scan(b.Table.Name)
 		if err == nil {
+			ev.obsv.Add(CtrRowsScanned, int64(len(rows)))
 			err = ev.checkpoint(len(rows))
 		}
 		if err == nil {

@@ -8,8 +8,11 @@ import (
 	"time"
 )
 
-// Limits bounds one engine run. The zero value means unlimited — Run uses it.
-type Limits struct {
+// Config collects every knob of one engine run — resource bounds, wall-clock
+// budget, and parallelism — in a single documented struct. The zero value
+// means unlimited and serial-or-parallel at the engine's discretion; Run uses
+// it.
+type Config struct {
 	// MaxRows caps the rows the run may materialize, summed over every
 	// operator (scans, join outputs, group outputs). It bounds memory and
 	// work for runaway plans (e.g. an accidental cross join), not just the
@@ -26,6 +29,12 @@ type Limits struct {
 	// the serial path, which is the reference for result-parity testing.
 	Parallelism int
 }
+
+// Limits is the historical name of Config; existing call sites keep
+// compiling.
+//
+// Deprecated: use Config.
+type Limits = Config
 
 // ErrBudgetExceeded is returned (wrapped) when a run materializes more than
 // Limits.MaxRows rows.

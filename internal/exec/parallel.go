@@ -48,6 +48,8 @@ func (ev *evaluator) parallelChunks(n, workers int, fn func(w, lo, hi int, chg *
 		}
 		return chg.flush()
 	}
+	ev.obsv.Add(CtrParallelOps, 1)
+	ev.obsv.Add(CtrParallelWorkers, int64(workers))
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/qgm"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
@@ -71,6 +72,7 @@ type Maintainer struct {
 	store  *storage.Store
 	engine *exec.Engine
 	cat    *catalog.Catalog // optional; enables freshness/quarantine tracking
+	obsv   *obs.Observer    // nil = observability disabled
 }
 
 // New returns a maintainer over the store.
@@ -84,6 +86,15 @@ func New(store *storage.Store) *Maintainer {
 // returns m for chaining.
 func (m *Maintainer) WithCatalog(cat *catalog.Catalog) *Maintainer {
 	m.cat = cat
+	return m
+}
+
+// WithObserver attaches an observer recording refresh counters, durations,
+// and failure events; nil detaches. The engine the maintainer runs full
+// recomputes on reports to the same observer. It returns m for chaining.
+func (m *Maintainer) WithObserver(o *obs.Observer) *Maintainer {
+	m.obsv = o
+	m.engine.SetObserver(o)
 	return m
 }
 
@@ -315,6 +326,9 @@ func (m *Maintainer) ApplyInsert(plans []*Plan, table string, rows [][]sqltypes.
 			// Incremental refresh succeeded: the materialization reflects
 			// the post-insert state.
 			m.markFresh(out[i].AST)
+			m.obsv.Add("maintain.refresh.incremental", 1)
+			m.obsv.Add("maintain.delta.rows", int64(out[i].DeltaRows))
+			m.obsv.Observe("maintain.refresh.incremental", out[i].Duration)
 		}
 	}
 	return out, errors.Join(errs...)
@@ -332,12 +346,18 @@ func (m *Maintainer) RefreshFull(p *Plan) (Stats, error) {
 		st.Err = fmt.Errorf("maintain: full refresh of %s: %w", p.AST.Def.Name, err)
 		st.Duration = time.Since(start)
 		m.recordFailure(p.AST.Def.Name)
+		m.obsv.Add("maintain.refresh.failures", 1)
+		if m.obsv.Enabled() {
+			m.obsv.Emit("maintain.refresh_failure", st.Err.Error())
+		}
 		return st, st.Err
 	}
 	m.store.Put(p.AST.Table, res.Rows)
 	st.DeltaRows = len(res.Rows)
 	st.Duration = time.Since(start)
 	m.markFresh(p.AST.Def.Name)
+	m.obsv.Add("maintain.refresh.full", 1)
+	m.obsv.Observe("maintain.refresh.full", st.Duration)
 	return st, nil
 }
 

@@ -1,0 +1,219 @@
+// Package obs is the pipeline observability subsystem: hierarchical spans
+// with wall-clock timings, monotonic counters, latency histograms, and a
+// sequenced event stream. Every stage of the rewrite pipeline (parse → match
+// → translate/derive → compensation → plan-cache lookup → exec → maintain)
+// reports here when an Observer is attached.
+//
+// The package is designed around a nil-sink fast path: a nil *Observer is a
+// valid, fully disabled observer. Every method checks the receiver first, the
+// disabled Span and disabled context helpers are zero values, and none of the
+// disabled paths allocate — production code holds a possibly-nil *Observer
+// and calls it unconditionally, paying one predictable branch when
+// observability is off (asserted by TestDisabledObserverZeroAlloc).
+//
+// Sequence numbers come from one package-global monotonic counter (NextSeq),
+// not per-Observer state, so events recorded by different components — a
+// rewriter degradation, a catalog staleness transition, a maintenance
+// failure — interleave on a single total order even when they flow through
+// different observers or none at all.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// globalSeq is the process-wide monotonic event sequence.
+var globalSeq atomic.Uint64
+
+// NextSeq returns the next process-wide monotonic sequence number. Components
+// that must order their records against the event stream without an observer
+// attached (e.g. core.DegradationEvent) draw from the same counter.
+func NextSeq() uint64 { return globalSeq.Add(1) }
+
+// maxEvents bounds the retained event stream; the newest events are kept
+// (they are the ones worth diagnosing) and evictions are counted.
+const maxEvents = 1024
+
+// maxSpans bounds the retained span records; past the cap new spans are
+// counted but not recorded.
+const maxSpans = 4096
+
+// Observer collects counters, latency histograms, spans and events. The zero
+// value is not used directly — construct with New. A nil *Observer is the
+// disabled observer: every method is a cheap no-op.
+//
+// All methods are safe for concurrent use.
+type Observer struct {
+	mu       sync.Mutex
+	counters map[string]*atomic.Int64
+	hists    map[string]*histogram
+	events   []Event
+	evictedE int64
+	spans    []SpanRecord
+	dropped  int64 // spans not recorded past maxSpans
+	began    time.Time
+}
+
+// New returns an enabled, empty observer.
+func New() *Observer {
+	return &Observer{
+		counters: map[string]*atomic.Int64{},
+		hists:    map[string]*histogram{},
+		began:    time.Now(),
+	}
+}
+
+// Enabled reports whether the observer records anything.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// counter returns the named counter cell, creating it on first use.
+func (o *Observer) counter(name string) *atomic.Int64 {
+	o.mu.Lock()
+	c := o.counters[name]
+	if c == nil {
+		c = &atomic.Int64{}
+		o.counters[name] = c
+	}
+	o.mu.Unlock()
+	return c
+}
+
+// Add increments a monotonic counter. Counter names are dot-separated and
+// documented in DESIGN.md §9; call sites on hot paths must pass constant
+// strings so the disabled path stays allocation-free.
+func (o *Observer) Add(name string, n int64) {
+	if o == nil {
+		return
+	}
+	o.counter(name).Add(n)
+}
+
+// Counter reads a counter's current value (0 when never incremented).
+func (o *Observer) Counter(name string) int64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	c := o.counters[name]
+	o.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// Observe records one duration into the named latency histogram.
+func (o *Observer) Observe(name string, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	h := o.hists[name]
+	if h == nil {
+		h = &histogram{}
+		o.hists[name] = h
+	}
+	h.record(d)
+	o.mu.Unlock()
+}
+
+// Event is one entry of the sequenced event stream: degradations, staleness
+// transitions, fault injections, cache evictions, fallbacks.
+type Event struct {
+	// Seq is the process-wide monotonic sequence number (NextSeq); records
+	// from different subsystems interleave on it.
+	Seq    uint64
+	Kind   string // dot-separated taxonomy, e.g. "core.degraded"
+	Detail string
+	At     time.Time
+}
+
+// Emit records an event, assigning it the next global sequence number, and
+// returns that number (0 when disabled).
+func (o *Observer) Emit(kind, detail string) uint64 {
+	if o == nil {
+		return 0
+	}
+	seq := NextSeq()
+	o.EmitSeq(seq, kind, detail)
+	return seq
+}
+
+// EmitSeq records an event under a sequence number the caller already drew
+// from NextSeq — used when the same number must also tag a record kept
+// outside the observer (e.g. core.DegradationEvent).
+func (o *Observer) EmitSeq(seq uint64, kind, detail string) {
+	if o == nil {
+		return
+	}
+	ev := Event{Seq: seq, Kind: kind, Detail: detail, At: time.Now()}
+	o.mu.Lock()
+	if len(o.events) >= maxEvents {
+		copy(o.events, o.events[1:])
+		o.events[len(o.events)-1] = ev
+		o.evictedE++
+	} else {
+		o.events = append(o.events, ev)
+	}
+	o.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of everything the observer holds, for
+// programmatic scraping and the -obs CLI surface.
+type Snapshot struct {
+	Counters      map[string]int64
+	Histograms    map[string]Histogram
+	Events        []Event
+	EvictedEvents int64
+	Spans         []SpanRecord
+	DroppedSpans  int64
+}
+
+// Snapshot copies the observer's current state. Counters and histograms are
+// deep copies; mutating the snapshot never touches the live observer.
+func (o *Observer) Snapshot() Snapshot {
+	if o == nil {
+		return Snapshot{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := Snapshot{
+		Counters:      make(map[string]int64, len(o.counters)),
+		Histograms:    make(map[string]Histogram, len(o.hists)),
+		Events:        append([]Event(nil), o.events...),
+		EvictedEvents: o.evictedE,
+		Spans:         append([]SpanRecord(nil), o.spans...),
+		DroppedSpans:  o.dropped,
+	}
+	for name, c := range o.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, h := range o.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// CounterNames returns the snapshot's counter names in sorted order, for
+// deterministic rendering.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the snapshot's histogram names in sorted order.
+func (s Snapshot) HistogramNames() []string {
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Render writes a human-readable dump of the snapshot: counters sorted by
+// name, histograms with mean/max and non-empty buckets, the span tree with
+// timings, and the event stream in sequence order. Counter lines are
+// deterministic for a deterministic workload; span and histogram lines carry
+// wall-clock timings and are for eyes, not golden files.
+func (s Snapshot) Render(w io.Writer) {
+	fmt.Fprintln(w, "== counters ==")
+	for _, name := range s.CounterNames() {
+		fmt.Fprintf(w, "%-44s %d\n", name, s.Counters[name])
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(w, "== latency histograms ==")
+		for _, name := range s.HistogramNames() {
+			h := s.Histograms[name]
+			fmt.Fprintf(w, "%-44s n=%d mean=%s max=%s", name, h.Count, h.Mean(), h.Max)
+			for i, c := range h.Buckets {
+				if c > 0 {
+					fmt.Fprintf(w, " %s:%d", HistBucketLabel(i), c)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(s.Spans) > 0 {
+		fmt.Fprintln(w, "== spans ==")
+		s.renderSpanTree(w)
+		if s.DroppedSpans > 0 {
+			fmt.Fprintf(w, "(%d spans dropped past the %d-record cap)\n", s.DroppedSpans, maxSpans)
+		}
+	}
+	if len(s.Events) > 0 {
+		fmt.Fprintln(w, "== events ==")
+		if s.EvictedEvents > 0 {
+			fmt.Fprintf(w, "(%d older events evicted)\n", s.EvictedEvents)
+		}
+		for _, ev := range s.Events {
+			fmt.Fprintf(w, "#%d %s: %s\n", ev.Seq, ev.Kind, ev.Detail)
+		}
+	}
+}
+
+// renderSpanTree prints spans indented under their parents, children in
+// record order (which is start order).
+func (s Snapshot) renderSpanTree(w io.Writer) {
+	children := make(map[int][]int, len(s.Spans))
+	var roots []int
+	for i, sp := range s.Spans {
+		if sp.Parent < 0 {
+			roots = append(roots, i)
+		} else {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		}
+	}
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		sp := s.Spans[idx]
+		dur := "unfinished"
+		if sp.Ended {
+			dur = sp.Dur.String()
+		}
+		fmt.Fprintf(w, "%*s%s (%s)\n", 2*depth, "", sp.Name, dur)
+		kids := children[idx]
+		sort.Ints(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// SpanRecord is one finished span: a named pipeline stage with wall-clock
+// timing and a parent index forming the hierarchy.
+type SpanRecord struct {
+	Name   string
+	Parent int // index into Snapshot.Spans; -1 for roots
+	Start  time.Time
+	Dur    time.Duration
+	Ended  bool
+}
+
+// Span is a live pipeline stage. The zero Span is the disabled span: Child
+// returns another disabled span and End is a no-op, so instrumented code
+// never branches on whether observability is on. Spans are value types —
+// starting one on the disabled path allocates nothing.
+type Span struct {
+	o   *Observer
+	idx int // index into o.spans
+}
+
+// Enabled reports whether the span records anything (false for the disabled
+// zero span).
+func (s Span) Enabled() bool { return s.o != nil }
+
+// Start begins a root span.
+func (o *Observer) Start(name string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.startSpan(name, -1)
+}
+
+func (o *Observer) startSpan(name string, parent int) Span {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.spans) >= maxSpans {
+		o.dropped++
+		return Span{}
+	}
+	o.spans = append(o.spans, SpanRecord{Name: name, Parent: parent, Start: time.Now()})
+	return Span{o: o, idx: len(o.spans) - 1}
+}
+
+// Child begins a span nested under s.
+func (s Span) Child(name string) Span {
+	if s.o == nil {
+		return Span{}
+	}
+	return s.o.startSpan(name, s.idx)
+}
+
+// End finishes the span, recording its duration and feeding the latency
+// histogram of the span's name.
+func (s Span) End() {
+	if s.o == nil {
+		return
+	}
+	s.o.mu.Lock()
+	rec := &s.o.spans[s.idx]
+	first := !rec.Ended
+	if first {
+		rec.Dur = time.Since(rec.Start)
+		rec.Ended = true
+	}
+	name, dur := rec.Name, rec.Dur
+	s.o.mu.Unlock()
+	if first {
+		s.o.Observe(name, dur)
+	}
+}
+
+// spanKey is the context key for span propagation.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying the span so deeper pipeline
+// stages (matching, execution) can nest under it. A disabled span returns ctx
+// unchanged — the disabled path allocates nothing.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	if s.o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or the disabled span.
+func SpanFromContext(ctx context.Context) Span {
+	if s, ok := ctx.Value(spanKey{}).(Span); ok {
+		return s
+	}
+	return Span{}
+}

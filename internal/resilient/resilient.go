@@ -1,25 +1,25 @@
-// Package resilient composes the rewrite and execution layers into a
-// degrade-gracefully query pipeline, mirroring DB2's contract for Automatic
-// Summary Tables: routing a query through an AST is an optimization, never a
-// source of failure. A query is answered from a summary table when a fresh
-// one matches, and from base tables in every other case — broken AST
-// definitions, match panics, stale or quarantined materializations, and
-// unreadable materialized tables all degrade to the base plan. Only typed
-// budget errors (exec.ErrBudgetExceeded, exec.ErrCanceled) and base-table
-// failures surface to the caller.
+// Package resilient is the former home of the degrade-gracefully query
+// pipeline, kept as a thin compatibility wrapper.
+//
+// Deprecated: the contract now lives in the astdb facade — astdb.Engine's
+// Query and QueryGraph answer from a fresh summary table when one matches and
+// from base tables in every other case, surfacing only typed budget errors
+// and base-table failures. New code should construct an astdb.Engine (Open or
+// Wrap) instead of calling Query here.
 package resilient
 
 import (
 	"context"
-	"errors"
-	"fmt"
 
+	"repro/astdb"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/qgm"
 )
 
 // Answer is the outcome of one resilient query.
+//
+// Deprecated: use astdb.Answer.
 type Answer struct {
 	Result *exec.Result
 	// Plan is the graph that produced Result: the rewritten clone when a
@@ -36,34 +36,14 @@ type Answer struct {
 // Query answers one query with graceful degradation. The input graph is
 // never mutated (the rewrite works on a clone), so the base plan stays
 // available as the fallback.
+//
+// Deprecated: use astdb.Wrap(rw, eng, asts, astdb.WithLimits(lim)) once and
+// call its QueryGraph.
 func Query(ctx context.Context, eng *exec.Engine, rw *core.Rewriter, query *qgm.Graph, asts []*core.CompiledAST, lim exec.Limits) (*Answer, error) {
-	plan, res := rw.RewriteOrFallback(ctx, query, asts)
-	r, err := runPlan(ctx, eng, plan, lim)
-	if err == nil {
-		return &Answer{Result: r, Plan: plan, Rewrite: res}, nil
-	}
-	// Budget exhaustion and cancellation surface typed: retrying on base
-	// tables could only be slower.
-	if res == nil || errors.Is(err, exec.ErrBudgetExceeded) || errors.Is(err, exec.ErrCanceled) {
-		return nil, err
-	}
-	// The rewritten plan failed (e.g. the materialized table is unreadable).
-	// Mark the AST stale so later rewrites avoid it, and answer from base.
-	rw.Catalog().MarkStale(res.AST.Def.Name)
-	r, err = runPlan(ctx, eng, query, lim)
+	db := astdb.Wrap(rw, eng, asts, astdb.WithLimits(lim), astdb.WithPlanCache(-1))
+	ans, err := db.QueryGraph(ctx, query)
 	if err != nil {
 		return nil, err
 	}
-	return &Answer{Result: r, Plan: query, Rewrite: res, FellBack: true}, nil
-}
-
-// runPlan executes one graph, converting a panic anywhere under the engine
-// into an error so the caller's fallback logic always gets control back.
-func runPlan(ctx context.Context, eng *exec.Engine, g *qgm.Graph, lim exec.Limits) (r *exec.Result, err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			r, err = nil, fmt.Errorf("resilient: execution panicked: %v", rec)
-		}
-	}()
-	return eng.RunCtx(ctx, g, lim)
+	return &Answer{Result: ans.Result, Plan: ans.Plan, Rewrite: ans.Rewrite, FellBack: ans.FellBack}, nil
 }
