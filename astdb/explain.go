@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/qgm"
@@ -19,6 +20,11 @@ import (
 type Report struct {
 	SQL        string
 	Candidates []Candidate
+
+	// CandidatesPruned counts the usable candidates the signature index would
+	// refuse before full matching on the production path (0 when pruning is
+	// disabled via Options.NoPrune).
+	CandidatesPruned int
 
 	// ChosenAST names the summary table the cost-based rewrite picked; ""
 	// means the query runs on base tables.
@@ -40,6 +46,7 @@ type Candidate struct {
 	AST    string
 	Status string // "fresh", "stale", or "quarantined"
 	Usable bool   // false when status gates it out of matching
+	Pruned bool   // the signature index would skip this candidate pre-match
 
 	Matched      bool
 	Exact        bool
@@ -72,6 +79,16 @@ func (e *Engine) Explain(ctx context.Context, sql string) (*Report, error) {
 	ctx = obs.ContextWithSpan(ctx, span)
 
 	rep := &Report{SQL: sql}
+	// The query signature is computed from a pristine graph (matching below
+	// mutates its copies with compensation boxes) and reused per candidate.
+	var qsig *catalog.Signature
+	if !e.rw.Options().NoPrune {
+		g, err := e.parse(span, sql)
+		if err != nil {
+			return nil, err
+		}
+		qsig = core.ComputeSignature(e.cat, g)
+	}
 	for _, ca := range sortedByName(e.ASTs()) {
 		// Fresh graph per candidate: matching allocates compensation boxes in
 		// the query graph, so candidates cannot share one.
@@ -79,7 +96,15 @@ func (e *Engine) Explain(ctx context.Context, sql string) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.Candidates = append(rep.Candidates, e.explainCandidate(g, ca))
+		cand := e.explainCandidate(g, ca)
+		// Report what the production path's signature index would decide for
+		// this candidate before full matching (EXPLAIN itself always matches,
+		// so pruned candidates still show their trace).
+		if cand.Usable && qsig != nil && !e.cat.AdmitsAST(ca.Def.Name, qsig, e.rw.Options().AllowStale) {
+			cand.Pruned = true
+			rep.CandidatesPruned++
+		}
+		rep.Candidates = append(rep.Candidates, cand)
 	}
 
 	// Reproduce Query's plan choice: cost-based selection over usable
@@ -194,6 +219,7 @@ func (r *Report) Render(w io.Writer) {
 			fmt.Fprintf(w, "  rejected: %s\n", c.FailReason)
 		}
 	}
+	fmt.Fprintf(w, "candidates pruned: %d\n", r.CandidatesPruned)
 	fmt.Fprintln(w, "== plan ==")
 	if r.ChosenAST != "" {
 		fmt.Fprintf(w, "reads summary table %s (pattern %s), estimated rows: base=%d rewritten=%d\n",

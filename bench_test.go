@@ -136,7 +136,7 @@ func BenchmarkE08_Fig12_CubeSemantics(b *testing.B) {
 	}{{"serial", 1}, {"parallel", 0}} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := engine.RunCtx(context.Background(), g, exec.Limits{Parallelism: mode.par}); err != nil {
+				if _, err := engine.RunCtx(context.Background(), g, exec.Config{Parallelism: mode.par}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -357,16 +357,19 @@ func BenchmarkE14_DSSuite(b *testing.B) {
 		env.RW.RewriteBestCost(rg, asts, env.Store)
 		rewrites = append(rewrites, rg)
 	}
-	// Cross original-vs-rewritten with serial-vs-parallel execution: the
-	// grouping-heavy suite is where partitioned aggregation should pay.
+	// Cross original-vs-rewritten with serial-vs-parallel execution (the
+	// grouping-heavy suite is where partitioned aggregation should pay), plus
+	// a serial interpreted leg isolating the compiled-expression-kernel win.
 	for _, mode := range []struct {
-		name string
-		par  int
-	}{{"serial", 1}, {"parallel", 0}} {
+		name   string
+		par    int
+		interp bool
+	}{{"serial", 1, false}, {"parallel", 0, false}, {"serial/interpreted", 1, true}} {
+		cfg := exec.Config{Parallelism: mode.par, Interpret: mode.interp}
 		b.Run("original/"+mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, g := range origs {
-					if _, err := env.Engine.RunCtx(context.Background(), g, exec.Limits{Parallelism: mode.par}); err != nil {
+					if _, err := env.Engine.RunCtx(context.Background(), g, cfg); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -375,11 +378,50 @@ func BenchmarkE14_DSSuite(b *testing.B) {
 		b.Run("rewritten/"+mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, g := range rewrites {
-					if _, err := env.Engine.RunCtx(context.Background(), g, exec.Limits{Parallelism: mode.par}); err != nil {
+					if _, err := env.Engine.RunCtx(context.Background(), g, cfg); err != nil {
 						b.Fatal(err)
 					}
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE15_CatalogScaling measures rewrite-candidate selection latency as
+// the AST catalog grows, with and without the signature index. The catalog is
+// 64 disjoint single-table schemas with ASTs registered round-robin, so for
+// the single-table probe query the index refuses all but every 64th candidate
+// before the matcher runs.
+func BenchmarkE15_CatalogScaling(b *testing.B) {
+	sizes := []int{1, 16, 64, 256}
+	if testing.Short() {
+		sizes = []int{1, 64}
+	}
+	for _, nASTs := range sizes {
+		env := bench.NewWideEnv(bench.WideTables, 64)
+		asts, err := bench.RegisterWideASTs(env, nASTs, bench.WideTables)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"pruned", core.Options{}},
+			{"unpruned", core.Options{NoPrune: true}},
+		} {
+			rw := core.NewRewriter(env.Cat, mode.opts)
+			b.Run("asts="+strconv.Itoa(nASTs)+"/"+mode.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g, err := qgm.BuildSQL(bench.WideQuery, env.Cat)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rw.RewriteBestCost(g, asts, env.Store) == nil {
+						b.Fatal("wide query did not rewrite")
+					}
+				}
+			})
+		}
 	}
 }

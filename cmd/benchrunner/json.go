@@ -10,6 +10,7 @@ import (
 
 	"repro/astdb"
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/qgm"
 	"repro/internal/workload"
 )
@@ -154,6 +155,47 @@ func runJSON(path string, scale int) error {
 	rep.measure("E14/rewritten/parallel", runSuite(dsParallel, rewrites))
 	rep.ratio("E14/rewrite_speedup", "E14/original/serial", "E14/rewritten/serial")
 	rep.ratio("E14/parallel_speedup", "E14/original/serial", "E14/original/parallel")
+
+	// E14 through the tree-walking interpreter: the serial rewritten suite
+	// with Interpret=true isolates what the compiled expression kernels buy.
+	dsInterp := dsEnv.DB(astdb.WithLimits(astdb.Config{Parallelism: 1, Interpret: true}))
+	rep.measure("E14/rewritten/serial/interpreted", runSuite(dsInterp, rewrites))
+	rep.ratio("E14/compile_speedup", "E14/rewritten/serial/interpreted", "E14/rewritten/serial")
+
+	// E15: rewrite-candidate selection latency vs catalog size, with and
+	// without the signature index. The wide catalog makes most candidates
+	// disjoint from the probe query, so the index refuses them before the
+	// matcher runs.
+	for _, nASTs := range []int{1, 16, 64, 256} {
+		wenv := bench.NewWideEnv(bench.WideTables, 64)
+		asts, err := bench.RegisterWideASTs(wenv, nASTs, bench.WideTables)
+		if err != nil {
+			return err
+		}
+		for _, mode := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"pruned", core.Options{}},
+			{"unpruned", core.Options{NoPrune: true}},
+		} {
+			rw := core.NewRewriter(wenv.Cat, mode.opts)
+			rep.measure(fmt.Sprintf("E15/asts=%d/%s", nASTs, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g, err := qgm.BuildSQL(bench.WideQuery, wenv.Cat)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rw.RewriteBestCost(g, asts, wenv.Store) == nil {
+						b.Fatal("wide query did not rewrite")
+					}
+				}
+			})
+		}
+		rep.ratio(fmt.Sprintf("E15/prune_speedup_%d", nASTs),
+			fmt.Sprintf("E15/asts=%d/unpruned", nASTs),
+			fmt.Sprintf("E15/asts=%d/pruned", nASTs))
+	}
 
 	// E13 cold match vs cached rewrite for a repeated query. The cold leg runs
 	// through a cache-less facade so every iteration pays full matching; the

@@ -19,16 +19,27 @@ import (
 const parityScale = 6000
 
 // checkParity runs one plan serially (Parallelism=1, the reference path) and
-// at several worker counts, and requires identical results each time.
+// at several worker counts, and requires identical results each time. The
+// serial leg is also run through the tree-walking interpreter (Interpret=true)
+// and must agree with the compiled expression kernels bit for bit.
 func checkParity(t *testing.T, eng *exec.Engine, g *qgm.Graph) {
 	t.Helper()
-	serial, err := eng.RunCtx(context.Background(), g, exec.Limits{Parallelism: 1})
+	serial, err := eng.RunCtx(context.Background(), g, exec.Config{Parallelism: 1})
 	if err != nil {
 		t.Fatalf("serial run: %v", err)
 	}
+	for _, par := range []int{1, 4} {
+		interp, err := eng.RunCtx(context.Background(), g, exec.Config{Parallelism: par, Interpret: true})
+		if err != nil {
+			t.Fatalf("interpreted run (par=%d): %v", par, err)
+		}
+		if diff := exec.EqualResults(serial, interp); diff != "" {
+			t.Fatalf("interpreted (par=%d) differs from compiled serial: %s", par, diff)
+		}
+	}
 	for _, par := range []int{0, 2, 3, 8} {
 		par := par
-		res, err := eng.RunCtx(context.Background(), g, exec.Limits{Parallelism: par})
+		res, err := eng.RunCtx(context.Background(), g, exec.Config{Parallelism: par})
 		if err != nil {
 			t.Fatalf("parallel run (par=%d): %v", par, err)
 		}
@@ -125,7 +136,7 @@ func TestParallelBudgetAndCancellation(t *testing.T) {
 	}
 	for _, par := range []int{1, 4} {
 		t.Run(fmt.Sprintf("budget/par=%d", par), func(t *testing.T) {
-			_, err := env.Engine.RunCtx(context.Background(), g, exec.Limits{MaxRows: 100, Parallelism: par})
+			_, err := env.Engine.RunCtx(context.Background(), g, exec.Config{MaxRows: 100, Parallelism: par})
 			if err == nil {
 				t.Fatal("expected budget error")
 			}
@@ -136,7 +147,7 @@ func TestParallelBudgetAndCancellation(t *testing.T) {
 		t.Run(fmt.Sprintf("cancel/par=%d", par), func(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
 			cancel()
-			_, err := env.Engine.RunCtx(ctx, g, exec.Limits{Parallelism: par})
+			_, err := env.Engine.RunCtx(ctx, g, exec.Config{Parallelism: par})
 			if err == nil {
 				t.Fatal("expected cancellation error")
 			}

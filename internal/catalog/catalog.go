@@ -101,14 +101,18 @@ type ASTDef struct {
 // populated. AST freshness state is mutex-guarded separately, so maintenance
 // may mark ASTs stale/fresh while rewrites consult Usable concurrently.
 type Catalog struct {
-	tables map[string]*Table
-	fks    []ForeignKey
-	asts   []ASTDef
+	tables   map[string]*Table
+	tableIDs map[string]int // stable numeric IDs for signature bitmaps
+	fks      []ForeignKey
+	fkEdges  []fkEdge // fks as table IDs, for the signature index
+	asts     []ASTDef
 
 	statusMu        sync.Mutex
 	status          map[string]*ASTStatus
 	quarantineAfter int
 	obsv            *obs.Observer // nil = observability disabled
+
+	sigs sigIndex // candidate-pruning signature index (signature.go)
 }
 
 // DefaultQuarantineThreshold is the number of consecutive refresh failures
@@ -120,6 +124,7 @@ const DefaultQuarantineThreshold = 3
 func New() *Catalog {
 	return &Catalog{
 		tables:          make(map[string]*Table),
+		tableIDs:        make(map[string]int),
 		status:          make(map[string]*ASTStatus),
 		quarantineAfter: DefaultQuarantineThreshold,
 	}
@@ -148,6 +153,9 @@ func (c *Catalog) AddTable(t *Table) error {
 	cp := *t
 	cp.Name = name
 	c.tables[name] = &cp
+	if _, ok := c.tableIDs[name]; !ok {
+		c.tableIDs[name] = len(c.tableIDs)
+	}
 	return nil
 }
 
@@ -209,6 +217,18 @@ func (c *Catalog) AddForeignKey(fk ForeignKey) error {
 		return fmt.Errorf("catalog: FK parent columns %v are not a unique key of %q", fk.ParentCols, fk.ParentTable)
 	}
 	c.fks = append(c.fks, fk)
+	nonNull := true
+	for _, cc := range fk.ChildCols {
+		if col, ok := child.Column(cc); !ok || col.Nullable {
+			nonNull = false
+			break
+		}
+	}
+	c.fkEdges = append(c.fkEdges, fkEdge{
+		child:        c.tableIDs[fk.ChildTable],
+		parent:       c.tableIDs[fk.ParentTable],
+		nonNullChild: nonNull,
+	})
 	return nil
 }
 
@@ -311,6 +331,7 @@ func (c *Catalog) UnregisterAST(name string) {
 	c.statusMu.Lock()
 	delete(c.status, name)
 	c.statusMu.Unlock()
+	c.sigs.remove(name)
 }
 
 // ASTStatus is the runtime freshness state of one AST. The zero value means
@@ -379,6 +400,7 @@ func (c *Catalog) MarkFresh(name string) {
 	st.Quarantined = false
 	st.Failures = 0
 	c.statusMu.Unlock()
+	c.sigs.mark(strings.ToLower(name), false, false)
 	c.obsv.Add("catalog.ast.fresh", 1)
 	if c.obsv.Enabled() {
 		c.obsv.Emit("catalog.fresh", name)
@@ -390,8 +412,11 @@ func (c *Catalog) MarkFresh(name string) {
 // base insert lands without the AST being refreshed).
 func (c *Catalog) MarkStale(name string) {
 	c.statusMu.Lock()
-	c.statusFor(name).Stale = true
+	st := c.statusFor(name)
+	st.Stale = true
+	quarantined := st.Quarantined
 	c.statusMu.Unlock()
+	c.sigs.mark(strings.ToLower(name), true, quarantined)
 	c.obsv.Add("catalog.ast.stale", 1)
 	if c.obsv.Enabled() {
 		c.obsv.Emit("catalog.stale", name)
@@ -413,6 +438,7 @@ func (c *Catalog) RecordRefreshFailure(name string) ASTStatus {
 	}
 	out := *st
 	c.statusMu.Unlock()
+	c.sigs.mark(strings.ToLower(name), out.Stale, out.Quarantined)
 	c.obsv.Add("catalog.ast.refresh_failures", 1)
 	if tripped {
 		c.obsv.Add("catalog.ast.quarantines", 1)

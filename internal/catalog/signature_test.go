@@ -1,0 +1,114 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func sigCatalog(t *testing.T) (*Catalog, *Signature) {
+	t.Helper()
+	c := New()
+	c.MustAddTable(&Table{
+		Name: "t",
+		Columns: []Column{
+			{Name: "id", Type: sqltypes.KindInt},
+			{Name: "v", Type: sqltypes.KindInt},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	id, ok := c.TableID("t")
+	if !ok {
+		t.Fatal("table t has no ID")
+	}
+	sig := &Signature{}
+	sig.Tables.Add(id)
+	sig.Required.Add(id)
+	return c, sig
+}
+
+// TestSignatureIndexStaleness: the index's mirrored freshness flags must track
+// every status transition, so pruning never admits an AST that Usable would
+// reject — and re-admits it as soon as Usable would.
+func TestSignatureIndexStaleness(t *testing.T) {
+	c, sig := sigCatalog(t)
+	c.MustRegisterAST(ASTDef{Name: "a1", SQL: "select id from t"})
+	c.SetASTSignature("a1", sig)
+	q := sig // identical signature: always structurally admissible
+
+	// check asserts the index agrees with Usable at both allowStale settings.
+	check := func(step string) {
+		t.Helper()
+		for _, allowStale := range []bool{false, true} {
+			usable := c.Usable("a1", allowStale)
+			admits := c.AdmitsAST("a1", q, allowStale)
+			if admits && !usable {
+				t.Fatalf("%s: index admits an AST Usable(allowStale=%v) rejects", step, allowStale)
+			}
+			if usable && !admits {
+				t.Fatalf("%s: index refuses a usable, structurally admissible AST (allowStale=%v)", step, allowStale)
+			}
+		}
+	}
+
+	check("fresh")
+	if !c.AdmitsAST("a1", q, false) {
+		t.Fatal("fresh AST must be admitted")
+	}
+
+	c.MarkStale("a1")
+	check("stale")
+	if c.AdmitsAST("a1", q, false) {
+		t.Fatal("stale AST must be pruned when staleness is not allowed")
+	}
+	if !c.AdmitsAST("a1", q, true) {
+		t.Fatal("stale AST must be admitted when staleness is allowed")
+	}
+
+	c.MarkFresh("a1")
+	check("refreshed")
+	if !c.AdmitsAST("a1", q, false) {
+		t.Fatal("refreshed AST must be re-admitted")
+	}
+
+	for i := 0; i < DefaultQuarantineThreshold; i++ {
+		c.RecordRefreshFailure("a1")
+	}
+	if !c.Status("a1").Quarantined {
+		t.Fatal("AST should be quarantined after threshold failures")
+	}
+	check("quarantined")
+	if c.AdmitsAST("a1", q, true) {
+		t.Fatal("quarantined AST must be pruned even when staleness is allowed")
+	}
+
+	c.MarkFresh("a1")
+	check("recovered")
+	if !c.AdmitsAST("a1", q, false) {
+		t.Fatal("recovered AST must be re-admitted")
+	}
+
+	c.UnregisterAST("a1")
+	if _, ok := c.ASTSignature("a1"); ok {
+		t.Fatal("unregistering must drop the signature entry")
+	}
+	if !c.AdmitsAST("a1", q, false) {
+		t.Fatal("an AST without an index entry is always admitted")
+	}
+}
+
+// TestSignatureIndexSeedsFromStatus: inserting a signature for an AST that is
+// already stale or quarantined must seed the mirrored flags from the current
+// status, not assume freshness.
+func TestSignatureIndexSeedsFromStatus(t *testing.T) {
+	c, sig := sigCatalog(t)
+	c.MustRegisterAST(ASTDef{Name: "a2", SQL: "select id from t"})
+	c.MarkStale("a2")
+	c.SetASTSignature("a2", sig)
+	if c.AdmitsAST("a2", sig, false) {
+		t.Fatal("signature inserted for an already-stale AST must start stale")
+	}
+	if !c.AdmitsAST("a2", sig, true) {
+		t.Fatal("already-stale AST must still be admitted under allowStale")
+	}
+}

@@ -103,7 +103,7 @@ func (e *chaosEnv) baselines(t testing.TB) []*exec.Result {
 // askAll answers every chaos query through the resilient pipeline and checks
 // each against its baseline. A typed budget error is acceptable when
 // allowBudgetErr; anything else fails the test.
-func (e *chaosEnv) askAll(t *testing.T, want []*exec.Result, lim exec.Limits, allowBudgetErr bool) []*resilient.Answer {
+func (e *chaosEnv) askAll(t *testing.T, want []*exec.Result, lim exec.Config, allowBudgetErr bool) []*resilient.Answer {
 	t.Helper()
 	out := make([]*resilient.Answer, len(chaosQueries))
 	for i, sql := range chaosQueries {
@@ -153,7 +153,7 @@ func randInserts(e *chaosEnv, rng *rand.Rand, n int) [][]sqltypes.Value {
 func TestControlRewritesHappen(t *testing.T) {
 	e := newChaosEnv(t)
 	want := e.baselines(t)
-	answers := e.askAll(t, want, exec.Limits{}, false)
+	answers := e.askAll(t, want, exec.Config{}, false)
 	rewritten := 0
 	for _, a := range answers {
 		if a != nil && a.Rewrite != nil {
@@ -177,7 +177,7 @@ func TestScanErrorOnMaterializedTable(t *testing.T) {
 		faultinject.Set("storage.scan:"+def.Name, faultinject.Err("storage.scan:"+def.Name))
 	}
 
-	answers := e.askAll(t, want, exec.Limits{}, false)
+	answers := e.askAll(t, want, exec.Config{}, false)
 	fellBack := 0
 	for _, a := range answers {
 		if a != nil && a.FellBack {
@@ -204,7 +204,7 @@ func TestMatchPanic(t *testing.T) {
 	defer faultinject.Disable()
 	faultinject.Set("core.match", faultinject.Fault{Panic: "chaos: match panic"})
 
-	answers := e.askAll(t, want, exec.Limits{}, false)
+	answers := e.askAll(t, want, exec.Config{}, false)
 	for i, a := range answers {
 		if a != nil && a.Rewrite != nil {
 			t.Fatalf("query %d claimed a rewrite while matching panics", i)
@@ -244,7 +244,7 @@ func TestRefreshPanicLeavesStaleUnread(t *testing.T) {
 	// Baselines computed AFTER the insert: a stale AST would give smaller
 	// counts, so any read of it is caught as a wrong answer.
 	want := e.baselines(t)
-	answers := e.askAll(t, want, exec.Limits{}, false)
+	answers := e.askAll(t, want, exec.Config{}, false)
 	for i, a := range answers {
 		if a != nil && a.Rewrite != nil {
 			t.Fatalf("query %d read a deliberately stale AST", i)
@@ -259,7 +259,7 @@ func TestRefreshPanicLeavesStaleUnread(t *testing.T) {
 			t.Fatalf("recovery refresh: %v", err)
 		}
 	}
-	answers = e.askAll(t, want, exec.Limits{}, false)
+	answers = e.askAll(t, want, exec.Config{}, false)
 	rewritten := 0
 	for _, a := range answers {
 		if a != nil && a.Rewrite != nil {
@@ -290,7 +290,7 @@ func TestSlowScanTimeout(t *testing.T) {
 			t.Fatal(err)
 		}
 		ans, err := resilient.Query(context.Background(), e.engine, e.rw, g, e.asts,
-			exec.Limits{Timeout: 20 * time.Millisecond})
+			exec.Config{Timeout: 20 * time.Millisecond})
 		if err != nil {
 			if !errors.Is(err, exec.ErrCanceled) && !errors.Is(err, exec.ErrBudgetExceeded) {
 				t.Fatalf("query %q: untyped failure %v", sql, err)
@@ -315,7 +315,7 @@ func TestRowBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = resilient.Query(context.Background(), e.engine, e.rw, g, nil, exec.Limits{MaxRows: 10})
+	_, err = resilient.Query(context.Background(), e.engine, e.rw, g, nil, exec.Config{MaxRows: 10})
 	if !errors.Is(err, exec.ErrBudgetExceeded) {
 		t.Fatalf("want ErrBudgetExceeded, got %v", err)
 	}
@@ -345,7 +345,7 @@ func TestProbabilisticSweep(t *testing.T) {
 			t.Fatalf("round %d: stats incomplete", round)
 		}
 		want := e.baselines(t)
-		e.askAll(t, want, exec.Limits{}, true)
+		e.askAll(t, want, exec.Config{}, true)
 		// Occasionally recover quarantined/stale ASTs the way an operator
 		// would: keep retrying the full recompute until one succeeds.
 		if round%2 == 1 {

@@ -54,6 +54,12 @@ type Options struct {
 	// stale in the catalog (e.g. after a failed refresh). Quarantined ASTs
 	// are never used regardless. Default false: staleness disables an AST.
 	AllowStale bool
+
+	// NoPrune disables the catalog signature index, so every usable AST goes
+	// through full matching. For ablation and the pruned-vs-unpruned
+	// benchmarks; pruning is conservative, so results are identical either
+	// way.
+	NoPrune bool
 }
 
 // Match records an established subsumption relationship between a query box

@@ -546,6 +546,12 @@ func (m *Matcher) matchGBCore(view *gbView, r *qgm.Box, rqc *qgm.Quantifier, chi
 // sliceable checks that every subsumer grouping column whose NULL-ness must
 // discriminate the selected cuboid has a non-NULL underlying value.
 func (m *Matcher) sliceable(r *qgm.Box, gsr []int) bool {
+	return cuboidSliceable(r, gsr)
+}
+
+// cuboidSliceable is the query-independent core of the sliceability test; the
+// signature index also uses it to pre-classify cube ASTs (rule R5).
+func cuboidSliceable(r *qgm.Box, gsr []int) bool {
 	inSet := map[int]bool{}
 	for _, pos := range gsr {
 		inSet[pos] = true

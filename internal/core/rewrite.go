@@ -21,6 +21,8 @@ const (
 	CtrMatchAccepts    = "core.match.accepts"
 	CtrMatchRejects    = "core.match.rejects"
 	CtrMatchPanics     = "core.match.panics"
+	CtrPruned          = "core.prune.pruned"
+	CtrPruneAdmitted   = "core.prune.admitted"
 	CtrDegradations    = "core.degradations"
 	CtrCacheHits       = "core.plancache.hits"
 	CtrCacheMisses     = "core.plancache.misses"
@@ -33,6 +35,9 @@ type CompiledAST struct {
 	Def   catalog.ASTDef
 	Graph *qgm.Graph
 	Table *catalog.Table
+	// Sig is the pruning signature computed at compile time and registered in
+	// the catalog's signature index; nil disables pruning for this AST.
+	Sig *catalog.Signature
 }
 
 // Rewriter rewrites queries to read ASTs instead of base tables. It holds no
@@ -89,7 +94,9 @@ func (rw *Rewriter) CompileAST(def catalog.ASTDef) (*CompiledAST, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: AST %q: %w", def.Name, err)
 	}
-	return &CompiledAST{Def: def, Graph: g, Table: g.Root.OutputTable(def.Name)}, nil
+	sig := ComputeSignature(rw.cat, g)
+	rw.cat.SetASTSignature(def.Name, sig)
+	return &CompiledAST{Def: def, Graph: g, Table: g.Root.OutputTable(def.Name), Sig: sig}, nil
 }
 
 // CompileAll compiles every AST registered in the catalog. A definition that
@@ -180,6 +187,30 @@ func (rw *Rewriter) usable(ast *CompiledAST) bool {
 	return rw.cat.Usable(ast.Def.Name, rw.opts.AllowStale)
 }
 
+// querySig computes the query's pruning signature once per rewrite, or nil
+// when pruning is disabled (Options.NoPrune) so every candidate is admitted.
+func (rw *Rewriter) querySig(query *qgm.Graph) *catalog.Signature {
+	if rw.opts.NoPrune {
+		return nil
+	}
+	return ComputeSignature(rw.cat, query)
+}
+
+// admit consults the catalog signature index for one candidate before the
+// full match is attempted. A nil query signature admits everything (pruning
+// disabled or the query references tables the index cannot map).
+func (rw *Rewriter) admit(qsig *catalog.Signature, ast *CompiledAST) bool {
+	if qsig == nil {
+		return true
+	}
+	if !rw.cat.AdmitsAST(ast.Def.Name, qsig, rw.opts.AllowStale) {
+		rw.obsv.Add(CtrPruned, 1)
+		return false
+	}
+	rw.obsv.Add(CtrPruneAdmitted, 1)
+	return true
+}
+
 // safeMatches runs the matcher for one candidate AST, converting a panic in
 // the match machinery (or an injected fault at "core.match:<name>") into "no
 // matches", so the rewrite moves on to the next candidate or the base plan.
@@ -258,9 +289,10 @@ func (rw *Rewriter) RewriteBestCtx(ctx context.Context, query *qgm.Graph, asts [
 		mm  *Match
 	}
 	heights := boxHeights(query)
+	qsig := rw.querySig(query)
 	var best *cand
 	for _, ast := range asts {
-		if !rw.usable(ast) {
+		if !rw.usable(ast) || !rw.admit(qsig, ast) {
 			continue
 		}
 		for _, mm := range rw.safeMatches(ctx, query, ast) {
@@ -347,9 +379,10 @@ func (rw *Rewriter) RewriteBestCost(query *qgm.Graph, asts []*CompiledAST, sizer
 func (rw *Rewriter) RewriteBestCostCtx(ctx context.Context, query *qgm.Graph, asts []*CompiledAST, sizer Sizer) *Result {
 	span := obs.SpanFromContext(ctx).Child("match")
 	defer span.End()
+	qsig := rw.querySig(query)
 	var usable []*CompiledAST
 	for _, ast := range asts {
-		if rw.usable(ast) {
+		if rw.usable(ast) && rw.admit(qsig, ast) {
 			usable = append(usable, ast)
 		}
 	}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/qgm"
+)
+
+// ComputeSignature summarizes a compiled graph into the cheap, plain-data
+// catalog.Signature the candidate-pruning index matches on (DESIGN.md §10).
+// It is computed once per AST at compile time and once per query per rewrite.
+// It returns nil — which every index check treats as "always admit" — when
+// any referenced base table has no catalog ID, so an exotic graph can never
+// cause an unsound prune.
+func ComputeSignature(cat *catalog.Catalog, g *qgm.Graph) *catalog.Signature {
+	sig := &catalog.Signature{}
+
+	// Table sets: every base table anywhere, and the subset reachable from
+	// the root without crossing a Scalar quantifier (those are the tables
+	// matching must account for; scalar-subquery extras are exempt from the
+	// losslessness proof).
+	for _, b := range g.Leaves() {
+		id, ok := cat.TableID(b.Table.Name)
+		if !ok {
+			return nil
+		}
+		sig.Tables.Add(id)
+	}
+	seen := map[int]bool{}
+	var walkForEach func(b *qgm.Box)
+	walkForEach = func(b *qgm.Box) {
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		if b.Kind == qgm.BaseTableBox {
+			if id, ok := cat.TableID(b.Table.Name); ok {
+				sig.Required.Add(id)
+			}
+			return
+		}
+		for _, q := range b.Quantifiers {
+			if q.Kind == qgm.ForEach {
+				walkForEach(q.Box)
+			}
+		}
+	}
+	walkForEach(g.Root)
+
+	// Referenced base-table columns, as sorted "table.column" names. The set
+	// is informational (observability and EXPLAIN) — DESIGN.md §10 explains
+	// why no conservative pruning rule can be built on it.
+	cols := map[string]bool{}
+	noteCols := func(e qgm.Expr) {
+		for _, c := range qgm.ColRefs(e) {
+			if c.Q == nil || c.Q.Box.Kind != qgm.BaseTableBox {
+				continue
+			}
+			t := c.Q.Box.Table
+			if t != nil && c.Col >= 0 && c.Col < len(t.Columns) {
+				cols[t.Name+"."+t.Columns[c.Col].Name] = true
+			}
+		}
+	}
+	for _, b := range g.Boxes() {
+		for _, c := range b.Cols {
+			noteCols(c.Expr)
+		}
+		for _, p := range b.Preds {
+			noteCols(p)
+		}
+	}
+	sig.Columns = catalog.SortedColumns(cols)
+
+	// GROUP BY shape. Built graphs wrap aggregation in a top select box
+	// (TopSel → GB → Sel → …), so the interesting GROUP BY boxes are the ones
+	// reachable from the root through ForEach quantifiers — those can never be
+	// lossless extras (extras must be base tables), so on the AST side each
+	// must be matched against a query GROUP BY box.
+	gbSumCount := func(b *qgm.Box) bool {
+		for i := range b.Cols {
+			if b.IsGroupCol(i) {
+				continue
+			}
+			if a, ok := b.Cols[i].Expr.(*qgm.Agg); ok && !a.Distinct && (a.Op == "sum" || a.Op == "count") {
+				return true
+			}
+		}
+		return false
+	}
+	allSumCount := true
+	for _, b := range g.Boxes() {
+		if b.Kind != qgm.GroupByBox {
+			continue
+		}
+		sig.HasGroupBy = true
+		if !gbSumCount(b) {
+			allSumCount = false
+		}
+	}
+	sig.AllGroupBySumCount = sig.HasGroupBy && allSumCount
+
+	sig.ReqGBSumCount = true
+	seenGB := map[int]bool{}
+	var walkGB func(b *qgm.Box)
+	walkGB = func(b *qgm.Box) {
+		if seenGB[b.ID] {
+			return
+		}
+		seenGB[b.ID] = true
+		if b.Kind == qgm.GroupByBox {
+			sig.ReqGroupBy = true
+			if !gbSumCount(b) {
+				sig.ReqGBSumCount = false
+			}
+			if len(b.GroupingSets) > 1 {
+				sliceable := 0
+				for _, gs := range b.GroupingSets {
+					if cuboidSliceable(b, gs) {
+						sliceable++
+					}
+				}
+				if sliceable == 0 {
+					sig.UnsliceableCube = true
+				}
+			}
+		}
+		for _, q := range b.Quantifiers {
+			if q.Kind == qgm.ForEach {
+				walkGB(q.Box)
+			}
+		}
+	}
+	walkGB(g.Root)
+	return sig
+}

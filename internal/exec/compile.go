@@ -1,0 +1,393 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+)
+
+// This file lowers qgm.Expr trees into closures ("kernels") once per box, so
+// the per-row path of scans, filters, hash-join keys, output expressions and
+// GROUP BY pre-evaluation is direct closure calls instead of re-walking the
+// tree through an interface type-switch. Kernels are compiled after the
+// expression's quantifiers have their binding slots assigned (slot numbers
+// and scalar-subquery values are baked in at compile time) and are read-only
+// over the binding, so parallel workers share them freely. Any node shape the
+// compiler does not handle falls back to a closure over the interpreter for
+// that subtree — semantics, including error messages and three-valued logic,
+// are identical by construction and pinned by the interpreted/compiled parity
+// tests.
+
+// scalarKernel evaluates one scalar expression against a binding.
+type scalarKernel func(bd binding) (sqltypes.Value, error)
+
+// predKernel evaluates one predicate against a binding under three-valued
+// logic.
+type predKernel func(bd binding) (sqltypes.Tri, error)
+
+// compileScalar lowers e to a scalarKernel. The bool reports whether the
+// whole subtree compiled without interpreter fallback (counted per expression
+// for observability; a fallback kernel is still correct, just slower).
+func (c *exprCtx) compileScalar(e qgm.Expr) (scalarKernel, bool) {
+	switch t := e.(type) {
+	case *qgm.ColRef:
+		if t.Q == nil {
+			return func(binding) (sqltypes.Value, error) {
+				return sqltypes.Null, fmt.Errorf("exec: unbound column reference")
+			}, true
+		}
+		qid := t.Q.ID
+		if len(c.scalars) > 0 {
+			if v, ok := c.scalars[qid]; ok {
+				return func(binding) (sqltypes.Value, error) { return v, nil }, true
+			}
+		}
+		slot := -1
+		if qid < len(c.slots) {
+			slot = c.slots[qid]
+		}
+		if slot < 0 {
+			// Quantifier not slotted at compile time; keep the interpreter's
+			// late-binding (and its exact error) for this reference.
+			return c.fallbackScalar(e), false
+		}
+		col := t.Col
+		return func(bd binding) (sqltypes.Value, error) {
+			if slot >= len(bd) || bd[slot] == nil {
+				return sqltypes.Null, fmt.Errorf("exec: quantifier q%d not in scope", qid)
+			}
+			row := bd[slot]
+			if col >= len(row) {
+				return sqltypes.Null, fmt.Errorf("exec: column %d out of range (row width %d)", col, len(row))
+			}
+			return row[col], nil
+		}, true
+
+	case *qgm.Const:
+		v := t.Val
+		return func(binding) (sqltypes.Value, error) { return v, nil }, true
+
+	case *qgm.Call:
+		arg, ok := c.compileScalar(t.Args[0])
+		var fn func(sqltypes.Value) sqltypes.Value
+		switch t.Name {
+		case "year":
+			fn = func(v sqltypes.Value) sqltypes.Value { return sqltypes.NewInt(v.DateYear()) }
+		case "month":
+			fn = func(v sqltypes.Value) sqltypes.Value { return sqltypes.NewInt(v.DateMonth()) }
+		case "day":
+			fn = func(v sqltypes.Value) sqltypes.Value { return sqltypes.NewInt(v.DateDay()) }
+		default:
+			name := t.Name
+			return func(bd binding) (sqltypes.Value, error) {
+				v, err := arg(bd)
+				if err != nil {
+					return sqltypes.Null, err
+				}
+				if v.IsNull() {
+					return sqltypes.Null, nil
+				}
+				return sqltypes.Null, fmt.Errorf("exec: unknown function %q", name)
+			}, ok
+		}
+		return func(bd binding) (sqltypes.Value, error) {
+			v, err := arg(bd)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if v.IsNull() {
+				return sqltypes.Null, nil
+			}
+			return fn(v), nil
+		}, ok
+
+	case *qgm.Bin:
+		switch t.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=":
+			pk, ok := c.compilePred(t)
+			return func(bd binding) (sqltypes.Value, error) {
+				tv, err := pk(bd)
+				if err != nil {
+					return sqltypes.Null, err
+				}
+				return tv.Value(), nil
+			}, ok
+		}
+		l, lok := c.compileScalar(t.L)
+		r, rok := c.compileScalar(t.R)
+		var fn func(a, b sqltypes.Value) (sqltypes.Value, error)
+		switch t.Op {
+		case "||":
+			fn = sqltypes.Concat
+		case "+":
+			fn = sqltypes.Add
+		case "-":
+			fn = sqltypes.Sub
+		case "*":
+			fn = sqltypes.Mul
+		case "/":
+			fn = sqltypes.Div
+		case "%":
+			fn = sqltypes.Mod
+		default:
+			op := t.Op
+			fn = func(a, b sqltypes.Value) (sqltypes.Value, error) {
+				return sqltypes.Null, fmt.Errorf("exec: unknown operator %q", op)
+			}
+		}
+		return func(bd binding) (sqltypes.Value, error) {
+			lv, err := l(bd)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			rv, err := r(bd)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return fn(lv, rv)
+		}, lok && rok
+
+	case *qgm.Not, *qgm.IsNull, *qgm.Like:
+		pk, ok := c.compilePred(e)
+		return func(bd binding) (sqltypes.Value, error) {
+			tv, err := pk(bd)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return tv.Value(), nil
+		}, ok
+
+	case *qgm.Agg:
+		msg := t.String()
+		return func(binding) (sqltypes.Value, error) {
+			return sqltypes.Null, fmt.Errorf("exec: aggregate %s outside GROUP BY box", msg)
+		}, true
+
+	case *qgm.Case:
+		ok := true
+		conds := make([]predKernel, len(t.Whens))
+		thens := make([]scalarKernel, len(t.Whens))
+		for i, w := range t.Whens {
+			var cok, tok bool
+			conds[i], cok = c.compilePred(w.Cond)
+			thens[i], tok = c.compileScalar(w.Then)
+			ok = ok && cok && tok
+		}
+		var els scalarKernel
+		if t.Else != nil {
+			var eok bool
+			els, eok = c.compileScalar(t.Else)
+			ok = ok && eok
+		}
+		return func(bd binding) (sqltypes.Value, error) {
+			for i := range conds {
+				tv, err := conds[i](bd)
+				if err != nil {
+					return sqltypes.Null, err
+				}
+				if tv == sqltypes.True {
+					return thens[i](bd)
+				}
+			}
+			if els != nil {
+				return els(bd)
+			}
+			return sqltypes.Null, nil
+		}, ok
+
+	default:
+		return c.fallbackScalar(e), false
+	}
+}
+
+// compilePred lowers e to a predKernel; the bool is as in compileScalar.
+func (c *exprCtx) compilePred(e qgm.Expr) (predKernel, bool) {
+	switch t := e.(type) {
+	case *qgm.Bin:
+		switch t.Op {
+		case "AND":
+			l, lok := c.compilePred(t.L)
+			r, rok := c.compilePred(t.R)
+			return func(bd binding) (sqltypes.Tri, error) {
+				lv, err := l(bd)
+				if err != nil {
+					return sqltypes.Unknown, err
+				}
+				if lv == sqltypes.False {
+					return sqltypes.False, nil
+				}
+				rv, err := r(bd)
+				if err != nil {
+					return sqltypes.Unknown, err
+				}
+				return lv.And(rv), nil
+			}, lok && rok
+		case "OR":
+			l, lok := c.compilePred(t.L)
+			r, rok := c.compilePred(t.R)
+			return func(bd binding) (sqltypes.Tri, error) {
+				lv, err := l(bd)
+				if err != nil {
+					return sqltypes.Unknown, err
+				}
+				if lv == sqltypes.True {
+					return sqltypes.True, nil
+				}
+				rv, err := r(bd)
+				if err != nil {
+					return sqltypes.Unknown, err
+				}
+				return lv.Or(rv), nil
+			}, lok && rok
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, lok := c.compileScalar(t.L)
+			r, rok := c.compileScalar(t.R)
+			var cmp func(int) bool
+			switch t.Op {
+			case "=":
+				cmp = func(c int) bool { return c == 0 }
+			case "<>":
+				cmp = func(c int) bool { return c != 0 }
+			case "<":
+				cmp = func(c int) bool { return c < 0 }
+			case "<=":
+				cmp = func(c int) bool { return c <= 0 }
+			case ">":
+				cmp = func(c int) bool { return c > 0 }
+			case ">=":
+				cmp = func(c int) bool { return c >= 0 }
+			}
+			return func(bd binding) (sqltypes.Tri, error) {
+				lv, err := l(bd)
+				if err != nil {
+					return sqltypes.Unknown, err
+				}
+				rv, err := r(bd)
+				if err != nil {
+					return sqltypes.Unknown, err
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return sqltypes.Unknown, nil
+				}
+				cv, err := sqltypes.Compare(lv, rv)
+				if err != nil {
+					return sqltypes.Unknown, err
+				}
+				return sqltypes.TriOf(cmp(cv)), nil
+			}, lok && rok
+		}
+		// Arithmetic in predicate position: evaluate and interpret.
+		sk, ok := c.compileScalar(t)
+		return predFromScalar(sk), ok
+
+	case *qgm.Not:
+		inner, ok := c.compilePred(t.E)
+		return func(bd binding) (sqltypes.Tri, error) {
+			tv, err := inner(bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			return tv.Not(), nil
+		}, ok
+
+	case *qgm.IsNull:
+		sk, ok := c.compileScalar(t.E)
+		neg := t.Neg
+		return func(bd binding) (sqltypes.Tri, error) {
+			v, err := sk(bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			return sqltypes.TriOf(v.IsNull() != neg), nil
+		}, ok
+
+	case *qgm.Like:
+		vk, vok := c.compileScalar(t.E)
+		pk, pok := c.compileScalar(t.Pattern)
+		neg := t.Neg
+		return func(bd binding) (sqltypes.Tri, error) {
+			v, err := vk(bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			p, err := pk(bd)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			if v.IsNull() || p.IsNull() {
+				return sqltypes.Unknown, nil
+			}
+			if v.Kind() != sqltypes.KindString || p.Kind() != sqltypes.KindString {
+				return sqltypes.Unknown, fmt.Errorf("exec: LIKE on %s and %s", v.Kind(), p.Kind())
+			}
+			match := sqltypes.LikeMatch(v.Str(), p.Str())
+			return sqltypes.TriOf(match != neg), nil
+		}, vok && pok
+
+	default:
+		sk, ok := c.compileScalar(e)
+		return predFromScalar(sk), ok
+	}
+}
+
+// predFromScalar adapts a scalar kernel used in predicate position
+// (TriFromValue semantics, mirroring evalPred's default arm).
+func predFromScalar(sk scalarKernel) predKernel {
+	return func(bd binding) (sqltypes.Tri, error) {
+		v, err := sk(bd)
+		if err != nil {
+			return sqltypes.Unknown, err
+		}
+		return sqltypes.TriFromValue(v), nil
+	}
+}
+
+// fallbackScalar hands a subtree back to the interpreter unchanged.
+func (c *exprCtx) fallbackScalar(e qgm.Expr) scalarKernel {
+	return func(bd binding) (sqltypes.Value, error) { return c.evalScalar(e, bd) }
+}
+
+// Observability counters for the kernel compiler: exprs fully lowered vs
+// exprs containing at least one interpreter-fallback subtree.
+const (
+	CtrExprCompiled = "exec.compile.compiled"
+	CtrExprFallback = "exec.compile.fallback"
+)
+
+// scalarKernel returns the kernel for one expression, honoring
+// Config.Interpret (force the tree-walking interpreter) and counting
+// compile outcomes.
+func (ev *evaluator) scalarKernel(ectx *exprCtx, e qgm.Expr) scalarKernel {
+	if ev.interp {
+		return ectx.fallbackScalar(e)
+	}
+	k, ok := ectx.compileScalar(e)
+	ev.countCompile(ok)
+	return k
+}
+
+// predKernelsFor compiles the predicates selected by idx (indices into
+// preds), aligned with idx.
+func (ev *evaluator) predKernelsFor(ectx *exprCtx, preds []qgm.Expr, idx []int) []predKernel {
+	out := make([]predKernel, len(idx))
+	for i, pi := range idx {
+		p := preds[pi]
+		if ev.interp {
+			out[i] = func(bd binding) (sqltypes.Tri, error) { return ectx.evalPred(p, bd) }
+			continue
+		}
+		k, ok := ectx.compilePred(p)
+		ev.countCompile(ok)
+		out[i] = k
+	}
+	return out
+}
+
+func (ev *evaluator) countCompile(ok bool) {
+	if ok {
+		ev.obsv.Add(CtrExprCompiled, 1)
+	} else {
+		ev.obsv.Add(CtrExprFallback, 1)
+	}
+}

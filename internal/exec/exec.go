@@ -102,12 +102,13 @@ func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Config) (*Result,
 	}
 	bud := &runBudget{ctx: ctx, maxRows: int64(lim.MaxRows)}
 	ev := &evaluator{
-		store: e.store,
-		memo:  map[int][][]sqltypes.Value{},
-		bud:   bud,
-		chg:   charger{b: bud},
-		par:   lim.Parallelism,
-		obsv:  e.obsv,
+		store:  e.store,
+		memo:   map[int][][]sqltypes.Value{},
+		bud:    bud,
+		chg:    charger{b: bud},
+		par:    lim.Parallelism,
+		interp: lim.Interpret,
+		obsv:   e.obsv,
 	}
 	rows, err := ev.evalBox(g.Root)
 	if err != nil {
@@ -145,10 +146,11 @@ type evaluator struct {
 	store *storage.Store
 	memo  map[int][][]sqltypes.Value
 
-	bud  *runBudget
-	chg  charger // the main goroutine's charger; workers get their own
-	par  int     // Config.Parallelism (0 = GOMAXPROCS)
-	obsv *obs.Observer
+	bud    *runBudget
+	chg    charger // the main goroutine's charger; workers get their own
+	par    int     // Config.Parallelism (0 = GOMAXPROCS)
+	interp bool    // Config.Interpret: skip kernel compilation
+	obsv   *obs.Observer
 }
 
 // checkpoint charges n materialized rows against the shared budget and
@@ -306,6 +308,12 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 
 	// Compute output expressions, partitioned across workers; each worker
 	// writes a disjoint index range, so order is exactly the serial order.
+	// The expressions are compiled to kernels once — every quantifier has its
+	// slot by now — and each worker calls the shared read-only closures.
+	colKs := make([]scalarKernel, len(b.Cols))
+	for ci, c := range b.Cols {
+		colKs[ci] = ev.scalarKernel(ectx, c.Expr)
+	}
 	out := make([][]sqltypes.Value, len(bindings))
 	err = ev.parallelChunks(len(bindings), ev.workersFor(len(bindings)),
 		func(w, lo, hi int, chg *charger) error {
@@ -313,9 +321,9 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 				if err := chg.checkpoint(1); err != nil {
 					return err
 				}
-				row := make([]sqltypes.Value, len(b.Cols))
-				for ci, c := range b.Cols {
-					v, err := ectx.evalScalar(c.Expr, bindings[i])
+				row := make([]sqltypes.Value, len(colKs))
+				for ci, k := range colKs {
+					v, err := k(bindings[i])
 					if err != nil {
 						return err
 					}
@@ -352,6 +360,7 @@ func (ev *evaluator) driveScan(next *qgm.Quantifier, childRows [][]sqltypes.Valu
 	if err != nil {
 		return nil, err
 	}
+	applyKs := ev.predKernelsFor(ectx, preds, apply)
 	workers := ev.workersFor(len(childRows))
 	parts := make([][]binding, workers)
 	err = ev.parallelChunks(len(childRows), workers, func(w, lo, hi int, chg *charger) error {
@@ -362,8 +371,8 @@ func (ev *evaluator) driveScan(next *qgm.Quantifier, childRows [][]sqltypes.Valu
 			}
 			bd := binding{r}
 			keep := true
-			for _, pi := range apply {
-				t, err := ectx.evalPred(preds[pi], bd)
+			for _, k := range applyKs {
+				t, err := k(bd)
 				if err != nil {
 					return err
 				}
@@ -477,6 +486,16 @@ func (ev *evaluator) hashJoin(bindings []binding, next *qgm.Quantifier, slot int
 		}
 	}
 
+	// Compile both sides' key expressions once (the child's slot was assigned
+	// just before this call; prefix expressions only reference joined
+	// quantifiers).
+	childKs := make([]scalarKernel, len(pairs))
+	prefixKs := make([]scalarKernel, len(pairs))
+	for i, kp := range pairs {
+		childKs[i] = ev.scalarKernel(ectx, kp.child)
+		prefixKs[i] = ev.scalarKernel(ectx, kp.prefix)
+	}
+
 	// Build hash table on child rows, keyed through a reusable scratch buffer
 	// (a key string is only allocated when it enters the table).
 	table := make(map[string][][]sqltypes.Value, len(childRows))
@@ -486,8 +505,8 @@ func (ev *evaluator) hashJoin(bindings []binding, next *qgm.Quantifier, slot int
 		childBd[slot] = r
 		buf = buf[:0]
 		null := false
-		for _, kp := range pairs {
-			v, err := ectx.evalScalar(kp.child, childBd)
+		for _, k := range childKs {
+			v, err := k(childBd)
 			if err != nil {
 				return nil, err
 			}
@@ -508,8 +527,8 @@ func (ev *evaluator) hashJoin(bindings []binding, next *qgm.Quantifier, slot int
 	for _, bd := range bindings {
 		buf = buf[:0]
 		null := false
-		for _, kp := range pairs {
-			v, err := ectx.evalScalar(kp.prefix, bd)
+		for _, k := range prefixKs {
+			v, err := k(bd)
 			if err != nil {
 				return nil, err
 			}
@@ -572,6 +591,7 @@ func (ev *evaluator) filter(bindings []binding, preds []qgm.Expr, used []bool, j
 	if len(apply) == 0 {
 		return bindings, nil
 	}
+	applyKs := ev.predKernelsFor(ectx, preds, apply)
 	workers := ev.workersFor(len(bindings))
 	parts := make([][]binding, workers)
 	err = ev.parallelChunks(len(bindings), workers, func(w, lo, hi int, chg *charger) error {
@@ -582,8 +602,8 @@ func (ev *evaluator) filter(bindings []binding, preds []qgm.Expr, used []bool, j
 				return err
 			}
 			keep := true
-			for _, pi := range apply {
-				t, err := ectx.evalPred(preds[pi], bd)
+			for _, k := range applyKs {
+				t, err := k(bd)
 				if err != nil {
 					return err
 				}

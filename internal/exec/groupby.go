@@ -50,42 +50,117 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 	}
 
 	nGroup := len(b.GroupBy)
-	groupVals := make([][]sqltypes.Value, len(childRows)) // per row: grouping col values, in GroupBy order
-	argVals := make([][]sqltypes.Value, len(childRows))   // per row: aggregate argument values
-	err = ev.parallelChunks(len(childRows), ev.workersFor(len(childRows)),
-		func(w, lo, hi int, chg *charger) error {
-			bd := binding{nil}
-			for ri := lo; ri < hi; ri++ {
-				if err := chg.checkpoint(1); err != nil {
-					return err
-				}
-				bd[0] = childRows[ri]
-				gv := make([]sqltypes.Value, nGroup)
-				for pos, col := range b.GroupBy {
-					v, err := ectx.evalScalar(b.Cols[col].Expr, bd)
-					if err != nil {
-						return err
-					}
-					gv[pos] = v
-				}
-				groupVals[ri] = gv
-				av := make([]sqltypes.Value, len(aggSpecs))
-				for ai, spec := range aggSpecs {
-					if spec.agg.Star {
-						continue
-					}
-					v, err := ectx.evalScalar(spec.agg.Arg, bd)
-					if err != nil {
-						return err
-					}
-					av[ai] = v
-				}
-				argVals[ri] = av
+
+	// Fused fast path (compiled mode only): when every grouping column and
+	// aggregate argument lowers to a direct column reference into the child
+	// row, the pre-evaluation pass and its two per-row intermediate slices are
+	// skipped entirely and aggregation reads the child rows in place. This is
+	// where compilation pays on aggregation-heavy plans; the interpreter keeps
+	// the general two-pass structure.
+	fused := !ev.interp
+	groupCols := make([]int, nGroup)
+	argCols := make([]int, len(aggSpecs))
+	maxCol := -1
+	directCol := func(e qgm.Expr) (int, bool) {
+		cr, ok := e.(*qgm.ColRef)
+		if !ok || cr.Q == nil || cr.Q.ID != q.ID {
+			return -1, false
+		}
+		return cr.Col, true
+	}
+	if fused {
+		for pos, col := range b.GroupBy {
+			c, ok := directCol(b.Cols[col].Expr)
+			if !ok {
+				fused = false
+				break
 			}
-			return nil
-		})
-	if err != nil {
-		return nil, err
+			groupCols[pos] = c
+			if c > maxCol {
+				maxCol = c
+			}
+		}
+	}
+	if fused {
+		for ai, spec := range aggSpecs {
+			if spec.agg.Star {
+				argCols[ai] = -1
+				continue
+			}
+			c, ok := directCol(spec.agg.Arg)
+			if !ok {
+				fused = false
+				break
+			}
+			argCols[ai] = c
+			if c > maxCol {
+				maxCol = c
+			}
+		}
+	}
+
+	var groupVals [][]sqltypes.Value // per row: grouping col values, in GroupBy order
+	var argVals [][]sqltypes.Value   // per row: aggregate argument values
+	if fused {
+		// Every fused expression is a fully compiled direct access.
+		for range b.GroupBy {
+			ev.countCompile(true)
+		}
+		for _, spec := range aggSpecs {
+			if !spec.agg.Star {
+				ev.countCompile(true)
+			}
+		}
+	} else {
+		// Compile the grouping-column and aggregate-argument expressions to
+		// kernels once; COUNT(*) has no argument and keeps a nil kernel.
+		groupKs := make([]scalarKernel, nGroup)
+		for pos, col := range b.GroupBy {
+			groupKs[pos] = ev.scalarKernel(ectx, b.Cols[col].Expr)
+		}
+		argKs := make([]scalarKernel, len(aggSpecs))
+		for ai, spec := range aggSpecs {
+			if !spec.agg.Star {
+				argKs[ai] = ev.scalarKernel(ectx, spec.agg.Arg)
+			}
+		}
+		groupVals = make([][]sqltypes.Value, len(childRows))
+		argVals = make([][]sqltypes.Value, len(childRows))
+		err = ev.parallelChunks(len(childRows), ev.workersFor(len(childRows)),
+			func(w, lo, hi int, chg *charger) error {
+				bd := binding{nil}
+				for ri := lo; ri < hi; ri++ {
+					if err := chg.checkpoint(1); err != nil {
+						return err
+					}
+					bd[0] = childRows[ri]
+					gv := make([]sqltypes.Value, nGroup)
+					for pos, k := range groupKs {
+						v, err := k(bd)
+						if err != nil {
+							return err
+						}
+						gv[pos] = v
+					}
+					groupVals[ri] = gv
+					av := make([]sqltypes.Value, len(aggSpecs))
+					for ai, k := range argKs {
+						if k == nil {
+							continue
+						}
+						v, err := k(bd)
+						if err != nil {
+							return err
+						}
+						av[ai] = v
+					}
+					argVals[ri] = av
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	sets := b.GroupingSets
@@ -94,10 +169,24 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 	}
 
 	var out [][]sqltypes.Value
-	for _, gs := range sets {
+	for si, gs := range sets {
 		inSet := make([]bool, nGroup)
 		for _, pos := range gs {
 			inSet[pos] = true
+		}
+		// Fused mode charges the per-input-row budget here (once, on the first
+		// grouping set) because the pre-evaluation pass that normally charges
+		// it was skipped.
+		rowCharge := 0
+		var gsCols []int
+		if fused {
+			if si == 0 {
+				rowCharge = 1
+			}
+			gsCols = make([]int, len(gs))
+			for i, pos := range gs {
+				gsCols[i] = groupCols[pos]
+			}
 		}
 		// A global aggregate (empty grouping set) over empty input produces
 		// one row: COUNT is 0 and the other aggregates are NULL.
@@ -122,13 +211,24 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 				p := &groupPartial{groups: map[string]*groupState{}}
 				var buf []byte
 				for ri := lo; ri < hi; ri++ {
-					if err := chg.checkpoint(0); err != nil {
+					if err := chg.checkpoint(rowCharge); err != nil {
 						return err
 					}
+					row := childRows[ri]
+					if fused && maxCol >= len(row) {
+						return fmt.Errorf("exec: column %d out of range (row width %d)", maxCol, len(row))
+					}
 					buf = buf[:0]
-					for _, pos := range gs {
-						buf = groupVals[ri][pos].AppendGroupKey(buf)
-						buf = append(buf, 0)
+					if fused {
+						for _, col := range gsCols {
+							buf = row[col].AppendGroupKey(buf)
+							buf = append(buf, 0)
+						}
+					} else {
+						for _, pos := range gs {
+							buf = groupVals[ri][pos].AppendGroupKey(buf)
+							buf = append(buf, 0)
+						}
 					}
 					g, ok := p.groups[string(buf)]
 					if !ok {
@@ -139,7 +239,15 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 						p.order = append(p.order, k)
 					}
 					for ai, spec := range aggSpecs {
-						if err := g.aggs[ai].accumulate(spec.agg, argVals[ri][ai]); err != nil {
+						var av sqltypes.Value
+						if fused {
+							if argCols[ai] >= 0 {
+								av = row[argCols[ai]]
+							}
+						} else {
+							av = argVals[ri][ai]
+						}
+						if err := g.aggs[ai].accumulate(spec.agg, av); err != nil {
 							return err
 						}
 					}
@@ -179,10 +287,13 @@ func (ev *evaluator) evalGroupBy(b *qgm.Box) ([][]sqltypes.Value, error) {
 			g := groups[k]
 			row := make([]sqltypes.Value, len(b.Cols))
 			for pos, col := range b.GroupBy {
-				if inSet[pos] {
-					row[col] = groupVals[g.reprRow][pos]
-				} else {
+				switch {
+				case !inSet[pos]:
 					row[col] = sqltypes.Null
+				case fused:
+					row[col] = childRows[g.reprRow][groupCols[pos]]
+				default:
+					row[col] = groupVals[g.reprRow][pos]
 				}
 			}
 			for ai, spec := range aggSpecs {

@@ -28,6 +28,12 @@ type Config struct {
 	// aggregation, scan+filter partitioning). 0 means GOMAXPROCS; 1 forces
 	// the serial path, which is the reference for result-parity testing.
 	Parallelism int
+	// Interpret disables the compiled expression kernels and forces the
+	// tree-walking interpreter for every per-row expression. The interpreter
+	// is the reference path for the interpreted/compiled parity tests and the
+	// baseline leg of the kernel benchmarks; results are identical either
+	// way.
+	Interpret bool
 }
 
 // Limits is the historical name of Config; existing call sites keep

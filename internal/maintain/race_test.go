@@ -59,7 +59,7 @@ func TestConcurrentReadersDuringMaintenance(t *testing.T) {
 				g = astG
 			}
 			for i := 0; i < readsPer; i++ {
-				if _, err := eng.RunCtx(context.Background(), g.Clone(), exec.Limits{Parallelism: 4}); err != nil {
+				if _, err := eng.RunCtx(context.Background(), g.Clone(), exec.Config{Parallelism: 4}); err != nil {
 					errc <- err
 					return
 				}

@@ -39,7 +39,7 @@ type Answer struct {
 //
 // Deprecated: use astdb.Wrap(rw, eng, asts, astdb.WithLimits(lim)) once and
 // call its QueryGraph.
-func Query(ctx context.Context, eng *exec.Engine, rw *core.Rewriter, query *qgm.Graph, asts []*core.CompiledAST, lim exec.Limits) (*Answer, error) {
+func Query(ctx context.Context, eng *exec.Engine, rw *core.Rewriter, query *qgm.Graph, asts []*core.CompiledAST, lim exec.Config) (*Answer, error) {
 	db := astdb.Wrap(rw, eng, asts, astdb.WithLimits(lim), astdb.WithPlanCache(-1))
 	ans, err := db.QueryGraph(ctx, query)
 	if err != nil {
