@@ -31,6 +31,7 @@ import (
 	"repro/internal/maintain"
 	"repro/internal/obs"
 	"repro/internal/qgm"
+	"repro/internal/qgmcheck"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
 )
@@ -71,6 +72,9 @@ type Engine struct {
 	cfg   exec.Config
 	cache *core.PlanCache // nil = plan caching disabled
 
+	// verifyPlans checks every parsed graph with qgmcheck (WithVerifyPlans).
+	verifyPlans bool
+
 	mu         sync.Mutex
 	asts       []*core.CompiledAST
 	plans      []*maintain.Plan
@@ -79,11 +83,12 @@ type Engine struct {
 
 // settings accumulates functional options.
 type settings struct {
-	store    *storage.Store
-	cfg      exec.Config
-	cacheCap int // 0 = default size, <0 = disabled
-	obsv     *obs.Observer
-	coreOpts core.Options
+	store       *storage.Store
+	cfg         exec.Config
+	cacheCap    int // 0 = default size, <0 = disabled
+	obsv        *obs.Observer
+	coreOpts    core.Options
+	verifyPlans bool
 }
 
 // Option configures Open and Wrap.
@@ -115,6 +120,21 @@ func WithAllowStale(allow bool) Option {
 // WithCoreOptions sets the full rewriter option block (ablation switches,
 // AllowStale). Open only; apply before WithAllowStale if combining.
 func WithCoreOptions(o core.Options) Option { return func(c *settings) { c.coreOpts = o } }
+
+// WithVerifyPlans turns on static plan verification (internal/qgmcheck) at
+// both engine seams: every parsed query graph is checked post-build (a
+// failing build is an engine bug and surfaces as an error), and the rewriter
+// runs the deep semantic checker over every accepted rewrite (a failing
+// rewrite is discarded and the query degrades to the base plan). Default off:
+// the deep checker allocates per plan, and the zero-overhead observability
+// contract holds only without it. Open only; Wrap keeps the passed rewriter's
+// options, but the post-parse seam still applies.
+func WithVerifyPlans(on bool) Option {
+	return func(c *settings) {
+		c.coreOpts.VerifyPlans = on
+		c.verifyPlans = on
+	}
+}
 
 // Open builds a fresh pipeline over the catalog and compiles every summary
 // table definition registered in it. Compilation failures are not fatal: the
@@ -160,6 +180,8 @@ func assemble(cat *catalog.Catalog, store *storage.Store, exe *exec.Engine, rw *
 		rw:    rw,
 		maint: maintain.New(store).WithCatalog(cat),
 		cfg:   c.cfg,
+
+		verifyPlans: c.verifyPlans,
 	}
 	if c.cacheCap >= 0 {
 		e.cache = core.NewPlanCache(c.cacheCap)
@@ -346,11 +368,19 @@ func (e *Engine) Execute(ctx context.Context, g *qgm.Graph) (*exec.Result, error
 	return e.runPlan(ctx, g)
 }
 
-// parse builds a graph from SQL under a "parse" child span.
+// parse builds a graph from SQL under a "parse" child span. With
+// WithVerifyPlans, the built graph is additionally run through the static
+// checker: a violation here means the builder produced an unsound graph, and
+// surfaces as an error rather than silently planning over it.
 func (e *Engine) parse(span obs.Span, sql string) (*qgm.Graph, error) {
 	p := span.Child("parse")
 	g, err := qgm.BuildSQL(sql, e.cat)
 	p.End()
+	if err == nil && e.verifyPlans {
+		if verr := qgmcheck.AsError(qgmcheck.Check(g)); verr != nil {
+			return nil, fmt.Errorf("astdb: built graph failed verification: %w", verr)
+		}
+	}
 	return g, err
 }
 

@@ -1,0 +1,41 @@
+package astdb_test
+
+// Tests of the WithVerifyPlans seam: verification defaults off (the
+// zero-overhead contract), and turning it on both checks parsed graphs and
+// threads the deep checker into the rewriter without changing answers.
+
+import (
+	"context"
+	"testing"
+
+	"repro/astdb"
+)
+
+func TestVerifyPlansDefaultsOff(t *testing.T) {
+	db := openTinyDB(t)
+	if db.Rewriter().Options().VerifyPlans {
+		t.Fatal("VerifyPlans must default to off (zero-overhead contract)")
+	}
+}
+
+func TestVerifyPlansQueriesStillServed(t *testing.T) {
+	db := openTinyDB(t, astdb.WithVerifyPlans(true))
+	ctx := context.Background()
+	if !db.Rewriter().Options().VerifyPlans {
+		t.Fatal("WithVerifyPlans(true) did not reach the rewriter options")
+	}
+	if _, _, err := db.CreateSummaryTable(ctx, "byregion",
+		"select region, sum(amount) as total, count(*) as cnt from sales group by region"); err != nil {
+		t.Fatalf("create summary table: %v", err)
+	}
+	ans, err := db.Query(ctx, "select region, sum(amount) as total from sales group by region")
+	if err != nil {
+		t.Fatalf("query under verification: %v", err)
+	}
+	if ans.AST != "byregion" {
+		t.Fatalf("verified rewrite discarded: served from %q, want byregion", ans.AST)
+	}
+	if len(db.Degradations()) != 0 {
+		t.Fatal("sound plans must not be recorded as degradations under verification")
+	}
+}

@@ -1,0 +1,98 @@
+// Command astlint runs the repo's custom analyzer suite (internal/lint) over
+// the module and exits non-zero on findings. It is a hard CI gate:
+//
+//	go run ./cmd/astlint ./...
+//
+// Arguments are package-path prefixes to restrict the run (./... or none =
+// the whole module); -list prints the analyzers instead of running them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astlint:", err)
+		os.Exit(2)
+	}
+	pkgs = restrict(pkgs, flag.Args())
+
+	findings := lint.Run(pkgs, lint.All())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "astlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// restrict filters packages to the given ./-style path prefixes; "./..." and
+// an empty argument list select everything.
+func restrict(pkgs []*lint.Package, args []string) []*lint.Package {
+	var prefixes []string
+	for _, a := range args {
+		a = strings.TrimPrefix(a, "./")
+		a = strings.TrimSuffix(a, "...")
+		a = strings.Trim(a, "/")
+		if a != "" {
+			prefixes = append(prefixes, a)
+		}
+	}
+	if len(prefixes) == 0 {
+		return pkgs
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		rel := strings.TrimPrefix(p.Path, "repro")
+		rel = strings.TrimPrefix(rel, "/")
+		for _, pre := range prefixes {
+			if rel == pre || strings.HasPrefix(rel, pre+"/") {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}

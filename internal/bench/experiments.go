@@ -21,11 +21,7 @@ func runPairs(w io.Writer, env *Env, keys []string) error {
 	tbl := newTable("figure", "query", "ast", "rewritten", "verified", "rows", "t_orig", "t_new", "speedup", "t_match")
 	var newSQLs []string
 	for _, key := range keys {
-		var p *struct {
-			Query, AST string
-			WantMatch  bool
-			Figure     string
-		}
+		var p *Pairing
 		for i := range pairings {
 			if pairings[i].Query == key {
 				p = &pairings[i]

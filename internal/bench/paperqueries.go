@@ -121,12 +121,23 @@ var Queries = map[string]string{
 	         group by flid`,
 }
 
-// pairings lists which AST each paper query targets.
-var pairings = []struct {
+// Pairing is one query/AST pairing of the paper suite: which AST the query
+// targets and whether the paper expects the match to succeed.
+type Pairing struct {
 	Query, AST string
 	WantMatch  bool
 	Figure     string
-}{
+}
+
+// Pairings returns the paper suite's query/AST pairings (a copy; callers may
+// reorder it). External oracles — the plan-soundness suite in
+// internal/qgmcheck, parity tests — iterate it to cover every pattern.
+func Pairings() []Pairing {
+	return append([]Pairing(nil), pairings...)
+}
+
+// pairings lists which AST each paper query targets.
+var pairings = []Pairing{
 	{"q1", "ast1", true, "Figure 2"},
 	{"q2", "ast2", true, "Figure 5"},
 	{"q4", "ast6", true, "Figure 6"},

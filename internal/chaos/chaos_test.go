@@ -12,13 +12,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/astdb"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/maintain"
 	"repro/internal/qgm"
-	"repro/internal/resilient"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -50,6 +50,10 @@ type chaosEnv struct {
 }
 
 func newChaosEnv(t testing.TB) *chaosEnv {
+	return newChaosEnvOpts(t, core.Options{})
+}
+
+func newChaosEnvOpts(t testing.TB, opts core.Options) *chaosEnv {
 	t.Helper()
 	cat := catalog.New()
 	workload.Schema(cat)
@@ -59,7 +63,7 @@ func newChaosEnv(t testing.TB) *chaosEnv {
 		cat:    cat,
 		store:  store,
 		engine: exec.NewEngine(store),
-		rw:     core.NewRewriter(cat, core.Options{}),
+		rw:     core.NewRewriter(cat, opts),
 		m:      maintain.New(store).WithCatalog(cat),
 	}
 	for _, def := range chaosASTs {
@@ -100,18 +104,25 @@ func (e *chaosEnv) baselines(t testing.TB) []*exec.Result {
 	return out
 }
 
-// askAll answers every chaos query through the resilient pipeline and checks
+// db wraps the env's components in the astdb facade (the resilience contract's
+// home since internal/resilient was retired) under the given limits.
+func (e *chaosEnv) db(lim exec.Config) *astdb.Engine {
+	return astdb.Wrap(e.rw, e.engine, e.asts, astdb.WithLimits(lim))
+}
+
+// askAll answers every chaos query through the resilient facade and checks
 // each against its baseline. A typed budget error is acceptable when
 // allowBudgetErr; anything else fails the test.
-func (e *chaosEnv) askAll(t *testing.T, want []*exec.Result, lim exec.Config, allowBudgetErr bool) []*resilient.Answer {
+func (e *chaosEnv) askAll(t *testing.T, want []*exec.Result, lim exec.Config, allowBudgetErr bool) []*astdb.Answer {
 	t.Helper()
-	out := make([]*resilient.Answer, len(chaosQueries))
+	db := e.db(lim)
+	out := make([]*astdb.Answer, len(chaosQueries))
 	for i, sql := range chaosQueries {
 		g, err := qgm.BuildSQL(sql, e.cat)
 		if err != nil {
 			t.Fatalf("build %q: %v", sql, err)
 		}
-		ans, err := resilient.Query(context.Background(), e.engine, e.rw, g, e.asts, lim)
+		ans, err := db.QueryGraph(context.Background(), g)
 		if err != nil {
 			if allowBudgetErr && (errors.Is(err, exec.ErrBudgetExceeded) || errors.Is(err, exec.ErrCanceled)) {
 				continue
@@ -162,6 +173,28 @@ func TestControlRewritesHappen(t *testing.T) {
 	}
 	if rewritten < 3 {
 		t.Fatalf("only %d/%d queries used a summary table; chaos coverage too weak", rewritten, len(chaosQueries))
+	}
+}
+
+// TestControlUnderVerifyPlans repeats the control scenario with the deep
+// static checker (internal/qgmcheck) gating every accepted rewrite: the same
+// queries must still be served from the summary tables (sound plans pass
+// verification), with identical answers and no recorded degradations.
+func TestControlUnderVerifyPlans(t *testing.T) {
+	e := newChaosEnvOpts(t, core.Options{VerifyPlans: true})
+	want := e.baselines(t)
+	answers := e.askAll(t, want, exec.Config{}, false)
+	rewritten := 0
+	for _, a := range answers {
+		if a != nil && a.Rewrite != nil {
+			rewritten++
+		}
+	}
+	if rewritten < 3 {
+		t.Fatalf("only %d/%d queries used a summary table under verification", rewritten, len(chaosQueries))
+	}
+	if degs := e.rw.Degradations(); len(degs) != 0 {
+		t.Fatalf("verification degraded sound plans: %v", degs)
 	}
 }
 
@@ -284,13 +317,13 @@ func TestSlowScanTimeout(t *testing.T) {
 	faultinject.Set("storage.scan", faultinject.Fault{Delay: 150 * time.Millisecond})
 
 	sawTyped := false
+	db := e.db(exec.Config{Timeout: 20 * time.Millisecond})
 	for i, sql := range chaosQueries {
 		g, err := qgm.BuildSQL(sql, e.cat)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ans, err := resilient.Query(context.Background(), e.engine, e.rw, g, e.asts,
-			exec.Config{Timeout: 20 * time.Millisecond})
+		ans, err := db.QueryGraph(context.Background(), g)
 		if err != nil {
 			if !errors.Is(err, exec.ErrCanceled) && !errors.Is(err, exec.ErrBudgetExceeded) {
 				t.Fatalf("query %q: untyped failure %v", sql, err)
@@ -315,7 +348,8 @@ func TestRowBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = resilient.Query(context.Background(), e.engine, e.rw, g, nil, exec.Config{MaxRows: 10})
+	db := astdb.Wrap(e.rw, e.engine, nil, astdb.WithLimits(exec.Config{MaxRows: 10}))
+	_, err = db.QueryGraph(context.Background(), g)
 	if !errors.Is(err, exec.ErrBudgetExceeded) {
 		t.Fatalf("want ErrBudgetExceeded, got %v", err)
 	}

@@ -242,6 +242,7 @@ func (m *Matcher) cloneStackBox(b, oldChild, newChild *qgm.Box, origMatch *Match
 	}
 	clone := m.newCompBox(b.Kind, compLabel(label))
 	clone.Distinct = b.Distinct
+	clone.Regroup = b.Regroup
 	qNew := m.newQuant(qgm.ForEach, newChild, "")
 	clone.Quantifiers = []*qgm.Quantifier{qNew}
 

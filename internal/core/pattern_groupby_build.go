@@ -267,6 +267,7 @@ func (m *Matcher) buildGBComp(
 	}
 
 	g := m.newCompBox(qgm.GroupByBox, compLabel("GB"))
+	g.Regroup = true
 	qS := m.newQuant(qgm.ForEach, s, "")
 	g.Quantifiers = []*qgm.Quantifier{qS}
 	posToCol := make([]int, len(view.groupExprs))

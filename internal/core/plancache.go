@@ -216,7 +216,7 @@ func (rw *Rewriter) RewriteSQLCached(ctx context.Context, cache *PlanCache, sql 
 	}
 	plan, astName = query, ""
 	if res != nil {
-		if err := clone.Validate(); err != nil {
+		if err := rw.verifyRewrite(clone, asts); err != nil {
 			rw.noteDegraded(fmt.Errorf("core: discarding invalid rewrite against %q: %w", res.AST.Def.Name, err))
 			res = nil
 		} else {

@@ -91,6 +91,7 @@ func newPullup(m *Matcher, r *qgm.Box, gp *childPair, eqR *qgm.Equiv) *pullup {
 			pu.clones[i] = ci
 		case qgm.GroupByBox:
 			ci := m.newCompBox(qgm.GroupByBox, compLabel("GB"))
+			ci.Regroup = b.Regroup
 			ci.Quantifiers = []*qgm.Quantifier{pu.cloneQ[i-1]}
 			pu.rejoins[i] = map[int]*qgm.Quantifier{}
 			pu.clones[i] = ci

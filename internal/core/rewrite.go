@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/qgm"
+	"repro/internal/qgmcheck"
 )
 
 // Observability counter names reported by the rewriter. Constant strings keep
@@ -320,11 +321,33 @@ func (rw *Rewriter) RewriteOrFallback(ctx context.Context, query *qgm.Graph, ast
 	if res == nil {
 		return query, nil
 	}
-	if err := clone.Validate(); err != nil {
+	if err := rw.verifyRewrite(clone, asts); err != nil {
 		rw.noteDegraded(fmt.Errorf("core: discarding invalid rewrite against %q: %w", res.AST.Def.Name, err))
 		return query, nil
 	}
 	return clone, res
+}
+
+// verifyRewrite gates an accepted rewrite. The structural check (a strict
+// superset of the legacy shallow qgm.Validate: pointer-identity bindings,
+// grouping-set canonicalization, scalar arity) always runs; with
+// Options.VerifyPlans the full semantic checker runs too — type inference and
+// the compensation post-conditions of internal/qgmcheck, classified against
+// the candidate AST definitions. Verification failures discard the rewrite
+// (the caller degrades to the base plan); they are never query failures.
+func (rw *Rewriter) verifyRewrite(g *qgm.Graph, asts []*CompiledAST) error {
+	if err := qgmcheck.Structural(g); err != nil {
+		return err
+	}
+	if !rw.opts.VerifyPlans {
+		return nil
+	}
+	defs := make(map[string]*qgm.Graph, len(asts))
+	for _, ca := range asts {
+		defs[ca.Def.Name] = ca.Graph
+	}
+	ck := &qgmcheck.Checker{ASTDefs: defs}
+	return qgmcheck.AsError(ck.Check(g))
 }
 
 // Explain runs the matcher with tracing enabled (without rewriting) and

@@ -24,7 +24,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/obs"
 	"repro/internal/qgm"
@@ -91,10 +90,7 @@ func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Config) (*Result,
 	span := e.runSpan(ctx)
 	defer span.End()
 	e.obsv.Add(CtrRuns, 1)
-	var began time.Time
-	if e.obsv.Enabled() {
-		began = time.Now()
-	}
+	began := e.obsv.Now()
 	if lim.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
@@ -118,9 +114,7 @@ func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Config) (*Result,
 		return nil, err
 	}
 	e.obsv.Add(CtrRowsEmitted, int64(len(rows)))
-	if e.obsv.Enabled() {
-		e.obsv.Observe(HistRun, time.Since(began))
-	}
+	e.obsv.ObserveSince(HistRun, began)
 	// A base-table root would hand the caller the table's live row slice;
 	// consumers sort Result.Rows in place, which must never reorder storage.
 	if g.Root.Kind == qgm.BaseTableBox {

@@ -1,0 +1,190 @@
+// Package lint is a stdlib-only static-analysis harness (go/parser + go/ast;
+// no go/packages, no go/analysis) enforcing the repo's architectural
+// invariants: determinism of the planning packages, no new callers of
+// deprecated APIs, context-first entry points, nil-receiver-safe observers,
+// and storage mutex discipline. The cmd/astlint CLI runs every analyzer over
+// the module and exits non-zero on findings; the analyzers are data, so tests
+// seed violations through ParseSource and assert each one fires.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// File is one parsed source file within its package.
+type File struct {
+	Name string // file path as parsed
+	AST  *ast.File
+	Test bool // *_test.go
+}
+
+// Package is the unit analyzers see: every file of one directory, with the
+// directory's import path resolved against the module path.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/core"
+	Fset  *token.FileSet
+	Files []*File
+}
+
+// Analyzer is one named rule set. Run inspects a package and reports
+// findings; the runner stamps the analyzer name onto each.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// Run applies the analyzers to the packages and returns all findings in
+// deterministic (file, line, analyzer) order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				f.Analyzer = a.Name
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := out[i], out[j]
+		if fi.Pos.Filename != fj.Pos.Filename {
+			return fi.Pos.Filename < fj.Pos.Filename
+		}
+		if fi.Pos.Line != fj.Pos.Line {
+			return fi.Pos.Line < fj.Pos.Line
+		}
+		return fi.Analyzer < fj.Analyzer
+	})
+	return out
+}
+
+// LoadModule parses every Go package under root (the directory containing
+// go.mod), skipping testdata, vendor, and hidden directories. Import paths
+// are derived from the module path declared in go.mod.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	byDir := map[string]*Package{}
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		p := byDir[dir]
+		if p == nil {
+			rel, rerr := filepath.Rel(root, dir)
+			if rerr != nil {
+				return rerr
+			}
+			ipath := modPath
+			if rel != "." {
+				ipath = modPath + "/" + filepath.ToSlash(rel)
+			}
+			p = &Package{Path: ipath, Fset: token.NewFileSet()}
+			byDir[dir] = p
+		}
+		af, perr := parser.ParseFile(p.Fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("lint: parsing %s: %w", path, perr)
+		}
+		p.Files = append(p.Files, &File{
+			Name: path,
+			AST:  af,
+			Test: strings.HasSuffix(path, "_test.go"),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(byDir))
+	for _, p := range byDir {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// ParseSource builds a single-file package from source text — the seam the
+// per-analyzer tests use to seed violations.
+func ParseSource(importPath, filename, src string) (*Package, error) {
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path: importPath,
+		Fset: fset,
+		Files: []*File{{
+			Name: filename,
+			AST:  af,
+			Test: strings.HasSuffix(filename, "_test.go"),
+		}},
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// importName returns the local name an import spec binds, resolving default
+// names from the import path's last element.
+func importName(s *ast.ImportSpec) string {
+	if s.Name != nil {
+		return s.Name.Name
+	}
+	path := strings.Trim(s.Path.Value, `"`)
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// importPathOf returns the unquoted import path.
+func importPathOf(s *ast.ImportSpec) string {
+	return strings.Trim(s.Path.Value, `"`)
+}

@@ -1,0 +1,189 @@
+package lint_test
+
+// Two halves: every analyzer fires on a seeded violation (the rules are not
+// vacuous), and the whole suite is clean over this repository (the gate
+// passes). CI runs the same suite through cmd/astlint.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// findings parses one seeded source file and runs one analyzer over it.
+func findings(t *testing.T, a *lint.Analyzer, importPath, filename, src string) []lint.Finding {
+	t.Helper()
+	p, err := lint.ParseSource(importPath, filename, src)
+	if err != nil {
+		t.Fatalf("parse seeded source: %v", err)
+	}
+	return lint.Run([]*lint.Package{p}, []*lint.Analyzer{a})
+}
+
+// wantFinding asserts exactly one finding carrying the analyzer's name.
+func wantFinding(t *testing.T, fs []lint.Finding, analyzer, substr string) {
+	t.Helper()
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %d: %v", len(fs), fs)
+	}
+	if fs[0].Analyzer != analyzer {
+		t.Fatalf("finding from %q, want %q", fs[0].Analyzer, analyzer)
+	}
+	if !strings.Contains(fs[0].Message, substr) {
+		t.Fatalf("finding %q does not mention %q", fs[0].Message, substr)
+	}
+}
+
+func TestDeterminismFlagsTimeNow(t *testing.T) {
+	src := `package core
+import "time"
+func stamp() int64 { return time.Now().UnixNano() }
+`
+	fs := findings(t, lint.Determinism, "repro/internal/core", "core/seed.go", src)
+	wantFinding(t, fs, "determinism", "time.Now")
+}
+
+func TestDeterminismFlagsMathRand(t *testing.T) {
+	src := `package qgm
+import "math/rand"
+func jitter() int { return rand.Int() }
+`
+	fs := findings(t, lint.Determinism, "repro/internal/qgm", "qgm/seed.go", src)
+	wantFinding(t, fs, "determinism", "math/rand")
+}
+
+func TestDeterminismIgnoresOtherPackagesAndTests(t *testing.T) {
+	src := `package bench
+import "time"
+func stamp() int64 { return time.Now().UnixNano() }
+`
+	if fs := findings(t, lint.Determinism, "repro/internal/bench", "bench/ok.go", src); len(fs) != 0 {
+		t.Fatalf("non-deterministic package flagged: %v", fs)
+	}
+	tsrc := `package core
+import "time"
+func stamp() int64 { return time.Now().UnixNano() }
+`
+	if fs := findings(t, lint.Determinism, "repro/internal/core", "core/x_test.go", tsrc); len(fs) != 0 {
+		t.Fatalf("test file flagged: %v", fs)
+	}
+}
+
+func TestDeprecatedAPIFlagsResilientImport(t *testing.T) {
+	src := `package somepkg
+import _ "repro/internal/resilient"
+`
+	fs := findings(t, lint.DeprecatedAPI, "repro/internal/somepkg", "somepkg/seed.go", src)
+	wantFinding(t, fs, "deprecated-api", "internal/resilient")
+}
+
+func TestDeprecatedAPIFlagsExecLimits(t *testing.T) {
+	src := `package somepkg
+import "repro/internal/exec"
+var lim exec.Limits
+`
+	fs := findings(t, lint.DeprecatedAPI, "repro/internal/somepkg", "somepkg/seed.go", src)
+	wantFinding(t, fs, "deprecated-api", "exec.Limits")
+}
+
+func TestCtxFirstFlagsLateContext(t *testing.T) {
+	src := `package exec
+import "context"
+type E struct{}
+func (e *E) Run(name string, ctx context.Context) error { return ctx.Err() }
+`
+	fs := findings(t, lint.CtxFirst, "repro/internal/exec", "exec/seed.go", src)
+	wantFinding(t, fs, "ctx-first", "Run")
+}
+
+func TestCtxFirstAcceptsContextFirst(t *testing.T) {
+	src := `package exec
+import "context"
+type E struct{}
+func (e *E) Run(ctx context.Context, name string) error { return ctx.Err() }
+func helper(name string, ctx context.Context) error { return ctx.Err() } // unexported: allowed
+`
+	if fs := findings(t, lint.CtxFirst, "repro/internal/exec", "exec/ok.go", src); len(fs) != 0 {
+		t.Fatalf("compliant source flagged: %v", fs)
+	}
+}
+
+func TestObsNilGuardFlagsUnguardedMethod(t *testing.T) {
+	src := `package obs
+type Observer struct{ n int }
+func (o *Observer) Bump() { o.n++ }
+`
+	fs := findings(t, lint.ObsNilGuard, "repro/internal/obs", "obs/seed.go", src)
+	wantFinding(t, fs, "obs-nil-guard", "Bump")
+}
+
+func TestObsNilGuardAcceptsGuardIdioms(t *testing.T) {
+	src := `package obs
+type Observer struct{ n int }
+func (o *Observer) Bump() {
+	if o == nil {
+		return
+	}
+	o.n++
+}
+func (o *Observer) Enabled() bool { return o != nil }
+func (o *Observer) bump() { o.n++ } // unexported: callers already guarded
+`
+	if fs := findings(t, lint.ObsNilGuard, "repro/internal/obs", "obs/ok.go", src); len(fs) != 0 {
+		t.Fatalf("guarded source flagged: %v", fs)
+	}
+}
+
+func TestStorageLockFlagsUnlockedFieldAccess(t *testing.T) {
+	src := `package storage
+import "sync"
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]int
+}
+func (s *Store) Size() int { return len(s.tables) }
+`
+	fs := findings(t, lint.StorageLock, "repro/internal/storage", "storage/seed.go", src)
+	wantFinding(t, fs, "storage-lock", "Size")
+}
+
+func TestStorageLockAcceptsLockedAccess(t *testing.T) {
+	src := `package storage
+import "sync"
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]int
+}
+func (s *Store) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables)
+}
+`
+	if fs := findings(t, lint.StorageLock, "repro/internal/storage", "storage/ok.go", src); len(fs) != 0 {
+		t.Fatalf("locked source flagged: %v", fs)
+	}
+}
+
+// TestRepositoryIsClean is the dogfood gate: the full analyzer suite over the
+// whole module must report nothing. cmd/astlint enforces the same in CI; this
+// keeps `go test ./...` sufficient locally.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	fs := lint.Run(pkgs, lint.All())
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}

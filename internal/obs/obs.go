@@ -105,6 +105,29 @@ func (o *Observer) Counter(name string) int64 {
 	return c.Load()
 }
 
+// Now returns the current wall-clock time when the observer is enabled and
+// the zero Time otherwise. It is the sanctioned clock for instrumented
+// packages: internal/core, internal/exec, and internal/qgm are lint-enforced
+// deterministic (no direct time.Now), so latency measurement goes through the
+// observer, costing nothing when observability is off.
+func (o *Observer) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the time elapsed since began into the named latency
+// histogram. It is a no-op when the observer is disabled or began is the zero
+// Time (the disabled Now), so the Now/ObserveSince pair brackets a measured
+// region without any Enabled check at the call site.
+func (o *Observer) ObserveSince(name string, began time.Time) {
+	if o == nil || began.IsZero() {
+		return
+	}
+	o.Observe(name, time.Since(began))
+}
+
 // Observe records one duration into the named latency histogram.
 func (o *Observer) Observe(name string, d time.Duration) {
 	if o == nil {

@@ -1,14 +1,26 @@
-package parser
+package parser_test
 
-import "testing"
+import (
+	"testing"
 
-// FuzzParse asserts two robustness properties over arbitrary input:
+	"repro/internal/catalog"
+	"repro/internal/parser"
+	"repro/internal/qgm"
+	"repro/internal/qgmcheck"
+	"repro/internal/workload"
+)
+
+// FuzzParse asserts three robustness properties over arbitrary input:
 //  1. Parse never panics — malformed SQL (e.g. a broken AST definition in the
 //     catalog) must surface as an error the rewriter can skip, never crash
 //     the process.
 //  2. Round-trip stability — whatever parses must print to SQL that parses
 //     back to the identical printed form, so stored AST definitions survive
 //     a parse→print→store→parse cycle unchanged.
+//  3. Built graphs are sound — whatever additionally builds into a QGM graph
+//     against the paper schema must pass the full static checker
+//     (internal/qgmcheck): the builder may reject input, but it must never
+//     hand the rewriter an ill-typed or structurally broken graph.
 func FuzzParse(f *testing.F) {
 	// Seeds: the paper's AST definitions and example queries, plus edge cases.
 	for _, sql := range []string{
@@ -27,24 +39,38 @@ func FuzzParse(f *testing.F) {
 		`select count(distinct faid) as c from trans`,
 		`select * from trans`,
 		`select -1 + 2 * (3 - 4) as x from trans`,
+		`select flid, year(date) as year, count(*) as cnt from trans
+			group by grouping sets((flid, year(date)), (year(date)))`,
 		"", "select", "select from where", "select 'unterminated",
 		"select ((((1))))", "group by",
 	} {
 		f.Add(sql)
 	}
 
+	// One fixed paper-schema catalog for the build oracle; building mutates
+	// only the graph, never the catalog.
+	cat := catalog.New()
+	workload.Schema(cat)
+
 	f.Fuzz(func(t *testing.T, src string) {
-		stmt, err := Parse(src) // must not panic
+		stmt, err := parser.Parse(src) // must not panic
 		if err != nil {
 			return
 		}
 		printed := stmt.SQL()
-		stmt2, err := Parse(printed)
+		stmt2, err := parser.Parse(printed)
 		if err != nil {
 			t.Fatalf("printed SQL does not re-parse: %v\ninput:   %q\nprinted: %q", err, src, printed)
 		}
 		if again := stmt2.SQL(); again != printed {
 			t.Fatalf("print not stable:\nfirst:  %q\nsecond: %q", printed, again)
+		}
+		g, err := qgm.Build(stmt, cat)
+		if err != nil {
+			return // semantic rejection (unknown table/column, …) is fine
+		}
+		if vs := qgmcheck.Check(g); len(vs) > 0 {
+			t.Fatalf("built graph fails the static checker for %q:\n%v", src, vs)
 		}
 	})
 }

@@ -93,6 +93,14 @@ type Box struct {
 	// simple GROUP BY has exactly one set containing every position.
 	GroupBy      []int
 	GroupingSets [][]int
+
+	// Regroup marks a GROUP BY box that re-aggregates already-aggregated
+	// rows (a second-stage combiner built by the matcher's regrouping
+	// compensation, §4.1.2 rules (a)–(g)). Faithful clones of query GROUP BY
+	// boxes are not regroupings: they aggregate row-level values and may use
+	// any aggregate. The distinction scopes the re-aggregation soundness
+	// rules of internal/qgmcheck (Table 1: SUM over SUM, SUM over COUNT, …).
+	Regroup bool
 }
 
 // Graph is a rooted QGM DAG plus ID allocation state.

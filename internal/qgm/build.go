@@ -29,6 +29,28 @@ func Build(stmt *parser.SelectStmt, cat *catalog.Catalog) (*Graph, error) {
 		return nil, err
 	}
 	g.Root = root
+	// Reject definitely ill-typed queries at the door (`where (date)`,
+	// `0 like ''`): the executor and the qgmcheck oracle are entitled to
+	// well-typed graphs. KindNull means unknown and always passes — only
+	// definite disagreements reject.
+	for _, box := range g.Boxes() {
+		for i, p := range box.Preds {
+			if iss := TypeIssues(p); len(iss) > 0 {
+				return nil, fmt.Errorf("qgm: predicate %d of %s: %s", i, box.Label, iss[0])
+			}
+			if k, _ := inferType(p); !IsBoolKind(k) {
+				return nil, fmt.Errorf("qgm: predicate %d of %s has non-boolean type %s", i, box.Label, k)
+			}
+		}
+		for _, c := range box.Cols {
+			if c.Expr == nil {
+				continue
+			}
+			if iss := TypeIssues(c.Expr); len(iss) > 0 {
+				return nil, fmt.Errorf("qgm: output %q of %s: %s", c.Name, box.Label, iss[0])
+			}
+		}
+	}
 	return g, nil
 }
 

@@ -14,6 +14,7 @@ func (g *Graph) Clone() *Graph {
 		nb := out.NewBox(b.Kind, b.Label)
 		nb.Table = b.Table
 		nb.Distinct = b.Distinct
+		nb.Regroup = b.Regroup
 		nb.GroupBy = append([]int(nil), b.GroupBy...)
 		for _, gs := range b.GroupingSets {
 			nb.GroupingSets = append(nb.GroupingSets, append([]int(nil), gs...))

@@ -16,6 +16,12 @@ import (
 //   - every column reference targets a quantifier visible in the referencing
 //     box and a column within the producer's arity;
 //   - aggregate expressions appear only as GROUP BY output columns.
+//
+// Deprecated: use internal/qgmcheck, whose Structural check is a strict
+// superset of these rules (pointer-identity bindings, grouping-set
+// canonicalization, scalar-quantifier arity) and whose full Check adds type
+// inference and compensation post-conditions. Validate is retained for
+// callers that cannot import qgmcheck (qgmcheck itself imports qgm).
 func (g *Graph) Validate() error {
 	if g.Root == nil {
 		return fmt.Errorf("qgm: graph has no root")

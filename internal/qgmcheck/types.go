@@ -1,0 +1,39 @@
+package qgmcheck
+
+import (
+	"fmt"
+
+	"repro/internal/qgm"
+)
+
+// Type rules delegate to qgm.TypeIssues — the same discipline qgm.Build
+// enforces on incoming queries — so a violation here means the *matcher*
+// assembled an ill-typed expression (a mis-derived compensation), not that a
+// bad query slipped in. Each issue class maps to a "types/<class>" rule.
+
+// checkTypes runs bottom-up type verification over one box's expressions.
+// Column-reference kinds come from qgm's own inference (OutputType), so the
+// rules compose across boxes without re-deriving schemas.
+func (r *run) checkTypes(b *qgm.Box) {
+	for _, c := range b.Cols {
+		if c.Expr == nil {
+			continue
+		}
+		r.checkExprTypes(b, fmt.Sprintf("output %q", c.Name), c.Expr)
+	}
+	for i, p := range b.Preds {
+		where := fmt.Sprintf("predicate %d", i)
+		r.checkExprTypes(b, where, p)
+		if k, _ := qgm.InferType(p); !qgm.IsBoolKind(k) {
+			r.add("types/pred", b, "%s: predicate has non-boolean type %v", where, k)
+		}
+	}
+}
+
+// checkExprTypes reports each definite type error in one expression under its
+// classed rule name.
+func (r *run) checkExprTypes(b *qgm.Box, where string, e qgm.Expr) {
+	for _, iss := range qgm.TypeIssues(e) {
+		r.add("types/"+iss.Class, b, "%s: %s", where, iss.Detail)
+	}
+}
