@@ -1,0 +1,185 @@
+package astdb
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/maintain"
+	"repro/internal/parser"
+	"repro/internal/qgm"
+)
+
+// DMLResult reports one executed DELETE or UPDATE: the target table, how many
+// rows the statement affected, and the per-AST maintenance outcomes.
+type DMLResult struct {
+	Table    string
+	Affected int
+	Stats    []maintain.Stats
+}
+
+// Delete executes DELETE FROM t [WHERE ...] and refreshes every summary table
+// whose definition reads t — by count-tracked delta retirement where the
+// maintenance plan allows, by full recomputation otherwise. Per-AST refresh
+// failures are recorded in the returned Stats (the AST goes stale) and joined
+// into the returned error; a statement-level error (parse, unknown table,
+// predicate evaluation) aborts before anything is mutated.
+func (e *Engine) Delete(ctx context.Context, sql string) (*DMLResult, error) {
+	span := e.startSpan(ctx, "maintain")
+	defer span.End()
+	dml, err := e.compileDML(sql, qgm.DMLDelete)
+	if err != nil {
+		return nil, err
+	}
+	n, stats, err := e.maint.ApplyDelete(e.maintPlans(), dml)
+	return &DMLResult{Table: dml.Table.Name, Affected: n, Stats: stats}, err
+}
+
+// Update executes UPDATE t SET ... [WHERE ...] and refreshes every summary
+// table whose definition reads t; the incremental path applies the delete
+// delta of the old rows and the insert delta of the new rows in one merge.
+// Error semantics match Delete.
+func (e *Engine) Update(ctx context.Context, sql string) (*DMLResult, error) {
+	span := e.startSpan(ctx, "maintain")
+	defer span.End()
+	dml, err := e.compileDML(sql, qgm.DMLUpdate)
+	if err != nil {
+		return nil, err
+	}
+	n, stats, err := e.maint.ApplyUpdate(e.maintPlans(), dml)
+	return &DMLResult{Table: dml.Table.Name, Affected: n, Stats: stats}, err
+}
+
+// compileDML parses and builds one DML statement of the expected kind,
+// rejecting statements that target a summary table: materializations are
+// system-maintained, and mutating one directly would silently break the
+// freshness contract.
+func (e *Engine) compileDML(sql string, kind qgm.DMLKind) (*qgm.DML, error) {
+	stmt, err := parser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	var table string
+	switch t := stmt.(type) {
+	case *parser.DeleteStmt:
+		if kind != qgm.DMLDelete {
+			return nil, fmt.Errorf("astdb: expected an UPDATE statement, got DELETE")
+		}
+		table = t.Table
+	case *parser.UpdateStmt:
+		if kind != qgm.DMLUpdate {
+			return nil, fmt.Errorf("astdb: expected a DELETE statement, got UPDATE")
+		}
+		table = t.Table
+	default:
+		return nil, fmt.Errorf("astdb: expected a %v statement", kind)
+	}
+	for _, def := range e.cat.ASTs() {
+		if strings.EqualFold(def.Name, table) {
+			return nil, fmt.Errorf("astdb: %q is a summary table; its contents are system-maintained", table)
+		}
+	}
+	switch t := stmt.(type) {
+	case *parser.DeleteStmt:
+		return qgm.BuildDelete(t, e.cat)
+	default:
+		return qgm.BuildUpdate(t.(*parser.UpdateStmt), e.cat)
+	}
+}
+
+// MaintenanceRoute is one summary table's entry in a maintenance-routing
+// report: how DML on the probed table refreshes it, and why.
+type MaintenanceRoute struct {
+	AST      string
+	Strategy string // "incremental" or "full"
+	Reason   string // why full, when it is ("" for incremental)
+	Status   string // catalog status: "fresh", "stale", or "quarantined"
+}
+
+// MaintenanceReport is the EXPLAIN of a DELETE or UPDATE: instead of a query
+// plan it shows, per summary table reading the target table, the maintenance
+// routing the statement would take. Rendering is deterministic (routes in AST
+// name order).
+type MaintenanceReport struct {
+	Statement string
+	Kind      string // "DELETE" or "UPDATE"
+	Table     string
+	Routes    []MaintenanceRoute
+}
+
+// ExplainDML plans one DELETE or UPDATE statement without executing it and
+// reports its per-AST maintenance routing. The statement is fully compiled
+// (parse, bind, type-check), so EXPLAIN rejects exactly what execution would.
+func (e *Engine) ExplainDML(ctx context.Context, sql string) (*MaintenanceReport, error) {
+	span := e.startSpan(ctx, "explain")
+	defer span.End()
+	stmt, err := parser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	if ex, ok := stmt.(*parser.ExplainStmt); ok && ex.DML != nil {
+		stmt = ex.DML
+	}
+	var dml *qgm.DML
+	switch t := stmt.(type) {
+	case *parser.DeleteStmt:
+		dml, err = e.compileDML(t.SQL(), qgm.DMLDelete)
+	case *parser.UpdateStmt:
+		dml, err = e.compileDML(t.SQL(), qgm.DMLUpdate)
+	default:
+		return nil, fmt.Errorf("astdb: ExplainDML wants a DELETE or UPDATE statement")
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &MaintenanceReport{Statement: stmt.(parser.Statement).SQL(), Kind: dml.Kind.String(), Table: dml.Table.Name}
+	plans := e.maintPlans()
+	for _, ca := range sortedByName(e.ASTs()) {
+		var p *maintain.Plan
+		for _, cand := range plans {
+			if cand.Name() == ca.Def.Name {
+				p = cand
+				break
+			}
+		}
+		if p == nil || !p.ReadsTable(dml.Table.Name) {
+			continue
+		}
+		route := MaintenanceRoute{AST: p.Name(), Status: "fresh"}
+		st := e.cat.Status(p.Name())
+		switch {
+		case st.Quarantined:
+			route.Status = "quarantined"
+		case st.Stale:
+			route.Status = "stale"
+		}
+		strat, reason := p.DeleteRouting(dml.Table.Name)
+		if strat == maintain.Incremental && route.Status != "fresh" {
+			// Runtime forces untrusted materializations through a full
+			// recompute; report the routing that would actually run.
+			strat, reason = maintain.FullRecompute, "materialization is "+route.Status+"; recovery requires a full recompute"
+		}
+		route.Strategy = strat.String()
+		route.Reason = reason
+		rep.Routes = append(rep.Routes, route)
+	}
+	return rep, nil
+}
+
+// Render formats the report for the CLI.
+func (r *MaintenanceReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s on %s: maintenance routing\n", r.Kind, r.Table)
+	if len(r.Routes) == 0 {
+		sb.WriteString("  no summary table reads " + r.Table + "\n")
+		return sb.String()
+	}
+	for _, rt := range r.Routes {
+		fmt.Fprintf(&sb, "  %s [%s]: %s", rt.AST, rt.Status, rt.Strategy)
+		if rt.Reason != "" {
+			sb.WriteString(" — " + rt.Reason)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

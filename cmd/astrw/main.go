@@ -1,9 +1,12 @@
 // Command astrw is a small SQL shell over the reproduction: it accepts
 // CREATE TABLE (with PRIMARY KEY / UNIQUE / FOREIGN KEY constraints), INSERT,
-// CREATE SUMMARY TABLE name AS SELECT (the DB2 syntax for Automatic Summary
-// Tables), SELECT, and EXPLAIN SELECT. Every SELECT is first routed through
-// the matching algorithm against all registered summary tables; when a match
-// is found the rewritten query runs instead and both forms are printed.
+// DELETE, UPDATE, CREATE SUMMARY TABLE name AS SELECT (the DB2 syntax for
+// Automatic Summary Tables), SELECT, EXPLAIN SELECT, and EXPLAIN
+// DELETE/UPDATE (per-AST maintenance routing). Every SELECT is first routed
+// through the matching algorithm against all registered summary tables; when
+// a match is found the rewritten query runs instead and both forms are
+// printed. Every DML statement refreshes the summary tables that read the
+// mutated table and reports each refresh's route and delta statistics.
 //
 // Usage:
 //
@@ -168,7 +171,18 @@ func (sh *shell) exec(stmt parser.Statement) error {
 		return sh.createAST(s)
 	case *parser.InsertStmt:
 		return sh.insert(s)
+	case *parser.DeleteStmt:
+		return sh.dml("deleted", func() (*astdb.DMLResult, error) {
+			return sh.db.Delete(context.Background(), s.SQL())
+		})
+	case *parser.UpdateStmt:
+		return sh.dml("updated", func() (*astdb.DMLResult, error) {
+			return sh.db.Update(context.Background(), s.SQL())
+		})
 	case *parser.ExplainStmt:
+		if s.DML != nil {
+			return sh.explainDML(s.DML)
+		}
 		return sh.explain(s.Query)
 	case *parser.SelectStmt:
 		if sh.explainAll {
@@ -343,15 +357,42 @@ func (sh *shell) insert(s *parser.InsertStmt) error {
 	return nil
 }
 
-// reportMaintenance surfaces per-AST refresh outcomes after an insert.
+// reportMaintenance surfaces per-AST refresh outcomes after an insert,
+// delete, or update.
 func (sh *shell) reportMaintenance(stats []astdb.Stats) {
 	for _, st := range stats {
 		if st.Err != nil {
 			fmt.Fprintf(sh.out, "-- degraded: summary table %s refresh failed (now stale): %v\n", st.AST, st.Err)
 			continue
 		}
-		fmt.Fprintf(sh.out, "-- refreshed summary table %s (%s, %d delta rows)\n", st.AST, st.Strategy, st.DeltaRows)
+		extra := ""
+		if st.Retired > 0 || st.Scoped > 0 {
+			extra = fmt.Sprintf(", %d group(s) retired, %d scope-recomputed", st.Retired, st.Scoped)
+		}
+		fmt.Fprintf(sh.out, "-- refreshed summary table %s (%s, %d delta rows%s)\n", st.AST, st.Strategy, st.DeltaRows, extra)
 	}
+}
+
+// dml executes one DELETE or UPDATE through the facade and reports the
+// affected-row count plus per-AST maintenance outcomes, mirroring insert.
+func (sh *shell) dml(verb string, run func() (*astdb.DMLResult, error)) error {
+	res, err := run()
+	if err != nil && res == nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "-- %s %d row(s) in %s\n", verb, res.Affected, res.Table)
+	sh.reportMaintenance(res.Stats)
+	return nil
+}
+
+// explainDML prints the maintenance routing a DELETE or UPDATE would take.
+func (sh *shell) explainDML(stmt parser.Statement) error {
+	rep, err := sh.db.ExplainDML(context.Background(), stmt.SQL())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(sh.out, rep.Render())
+	return nil
 }
 
 // explain renders the deterministic EXPLAIN report for one query.

@@ -53,6 +53,27 @@ func runObs(w io.Writer, scale int) error {
 		}
 	}
 
+	// DML phase: a delete and an update through the facade, so the snapshot
+	// includes the maintenance counters (maintain.dml.deltas, .retired,
+	// .scoped) alongside the query-side ones.
+	for _, sql := range []string{
+		"update trans set qty = qty + 1 where tid <= 50",
+		"delete from trans where qty = 5 and flid <= 20",
+	} {
+		var res *astdb.DMLResult
+		var err error
+		if sql[0] == 'u' {
+			res, err = db.Update(ctx, sql)
+		} else {
+			res, err = db.Delete(ctx, sql)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", sql, err)
+		}
+		fmt.Fprintf(w, "dml      -> %d row(s) in %s, %d summary table(s) refreshed\n",
+			res.Affected, res.Table, len(res.Stats))
+	}
+
 	fmt.Fprintln(w, "\n== observability snapshot ==")
 	db.Snapshot().Render(w)
 	return nil

@@ -1,0 +1,40 @@
+package exec
+
+import (
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+)
+
+// RowEvaluator evaluates expressions bound to a single base-table quantifier
+// against one row at a time. It is the DML execution primitive: DELETE/UPDATE
+// predicates and SET expressions compile (qgm.BuildDelete/BuildUpdate) to
+// expressions over one quantifier, and maintenance walks the table applying
+// them per row. Predicate semantics are full SQL three-valued logic: a DELETE
+// removes only rows whose predicate is True — False and Unknown rows stay.
+//
+// A RowEvaluator reuses its binding buffer across calls and is therefore not
+// safe for concurrent use; create one per goroutine.
+type RowEvaluator struct {
+	ctx exprCtx
+	bd  binding
+}
+
+// NewRowEvaluator binds the evaluator to the quantifier the expressions
+// reference (qgm.DML.Q).
+func NewRowEvaluator(q *qgm.Quantifier) *RowEvaluator {
+	re := &RowEvaluator{bd: make(binding, 1)}
+	re.ctx.setSlot(q.ID, 0)
+	return re
+}
+
+// Pred evaluates a predicate against the row.
+func (r *RowEvaluator) Pred(e qgm.Expr, row []sqltypes.Value) (sqltypes.Tri, error) {
+	r.bd[0] = row
+	return r.ctx.evalPred(e, r.bd)
+}
+
+// Scalar evaluates a value expression against the row.
+func (r *RowEvaluator) Scalar(e qgm.Expr, row []sqltypes.Value) (sqltypes.Value, error) {
+	r.bd[0] = row
+	return r.ctx.evalScalar(e, r.bd)
+}

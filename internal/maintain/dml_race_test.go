@@ -1,0 +1,110 @@
+package maintain
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/parser"
+	"repro/internal/qgm"
+)
+
+// TestConcurrentReadersDuringDMLStorm extends the reader/maintenance race
+// coverage to the delete/update path: parallel readers scan base-table joins
+// and the materialized AST while one writer alternates DELETE, UPDATE, and
+// INSERT maintenance rounds. The DML path mutates the base table itself (not
+// just the AST), so this additionally proves the base swap is one atomic
+// copy-on-write Put — readers never see a half-deleted fact table.
+func TestConcurrentReadersDuringDMLStorm(t *testing.T) {
+	f := newFixture(t, 3000)
+	f.m = New(f.store).WithCatalog(f.cat)
+	ca := f.compile(t, "ast_dmlrace",
+		`select flid, year(date) as y, count(*) as c, sum(qty) as s, min(price) as mn
+		 from trans group by flid, year(date)`)
+	plan := f.m.Analyze(ca)
+	if s, reason := plan.DeleteRouting("trans"); s != Incremental {
+		t.Fatalf("want incremental delete routing: %s", reason)
+	}
+	f.cat.MustAddTable(ca.Table)
+
+	baseG, err := qgm.BuildSQL(
+		`select lid, count(*) as c from trans, loc where flid = lid group by lid`, f.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	astG, err := qgm.BuildSQL(`select flid, y, c, s from ast_dmlrace`, f.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers     = 4
+		readsPer    = 20
+		writeRounds = 9
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			eng := exec.NewEngine(f.store)
+			g := baseG
+			if r%2 == 1 {
+				g = astG
+			}
+			for i := 0; i < readsPer; i++ {
+				if _, err := eng.RunCtx(context.Background(), g.Clone(), exec.Config{Parallelism: 4}); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < writeRounds; i++ {
+			var err error
+			switch i % 3 {
+			case 0:
+				var stmt parser.Statement
+				sql := fmt.Sprintf("delete from trans where qty = %d and flid <= %d", 1+rng.Intn(5), 10+rng.Intn(30))
+				if stmt, err = parser.ParseStatement(sql); err == nil {
+					var dml *qgm.DML
+					if dml, err = qgm.BuildDelete(stmt.(*parser.DeleteStmt), f.cat); err == nil {
+						_, _, err = f.m.ApplyDelete([]*Plan{plan}, dml)
+					}
+				}
+			case 1:
+				var stmt parser.Statement
+				sql := fmt.Sprintf("update trans set flid = %d where flid = %d", 1+rng.Intn(40), 1+rng.Intn(40))
+				if stmt, err = parser.ParseStatement(sql); err == nil {
+					var dml *qgm.DML
+					if dml, err = qgm.BuildUpdate(stmt.(*parser.UpdateStmt), f.cat); err == nil {
+						_, _, err = f.m.ApplyUpdate([]*Plan{plan}, dml)
+					}
+				}
+			default:
+				_, err = f.m.ApplyInsert([]*Plan{plan}, "trans", randTransRows(f, rng, 40))
+			}
+			if err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	checkAgainstRecompute(t, f, ca)
+}

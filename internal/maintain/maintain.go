@@ -61,6 +61,50 @@ type Plan struct {
 	roles    []colRole
 	keyCols  []int
 	baseTabs map[string]bool // base tables the definition reads
+
+	// Delete-path analysis (Cohen & Nutt): retirement needs a COUNT(*)
+	// tracker, SUM subtracts only over non-nullable input, MIN/MAX force a
+	// group-scoped recompute.
+	delStrategy  Strategy
+	delReason    string
+	counterCol   int   // COUNT(*)-equivalent tracker column ordinal; -1 = none
+	scopedCols   []int // columns recomputed per affected group after deletes
+	keyLowerOrds []int // lower-box output ordinal per key column (scoped recompute)
+
+	// multiRef marks base tables referenced by more than one quantifier in
+	// the definition: the single-table overlay delta rule is unsound there
+	// (Δ(R⋈R) ≠ ΔR⋈ΔR), for inserts and deletes alike.
+	multiRef map[string]bool
+}
+
+// Name returns the AST's registered name.
+func (p *Plan) Name() string { return p.AST.Def.Name }
+
+// ReadsTable reports whether the definition reads the base table.
+func (p *Plan) ReadsTable(table string) bool { return p.baseTabs[strings.ToLower(table)] }
+
+// InsertRouting reports how an insert into table refreshes this AST and, for
+// full recomputation, why.
+func (p *Plan) InsertRouting(table string) (Strategy, string) {
+	if p.Strategy != Incremental {
+		return FullRecompute, p.Reason
+	}
+	if p.multiRef[strings.ToLower(table)] {
+		return FullRecompute, "table referenced more than once in the definition: single-table delta is unsound for self-joins"
+	}
+	return Incremental, ""
+}
+
+// DeleteRouting reports how deleting (or updating, which is a delete plus an
+// insert) rows of table refreshes this AST.
+func (p *Plan) DeleteRouting(table string) (Strategy, string) {
+	if s, reason := p.InsertRouting(table); s != Incremental {
+		return FullRecompute, reason
+	}
+	if p.delStrategy != Incremental {
+		return FullRecompute, p.delReason
+	}
+	return Incremental, ""
 }
 
 // Maintainer refreshes materialized ASTs after base-table inserts. Refresh
@@ -131,11 +175,24 @@ func (m *Maintainer) staleOrQuarantined(name string) bool {
 // Analyze classifies an AST as incrementally maintainable or not and builds
 // its plan.
 func (m *Maintainer) Analyze(ast *core.CompiledAST) *Plan {
-	p := &Plan{AST: ast, Strategy: FullRecompute, baseTabs: map[string]bool{}}
+	p := &Plan{AST: ast, Strategy: FullRecompute, delStrategy: FullRecompute,
+		counterCol: -1, baseTabs: map[string]bool{}, multiRef: map[string]bool{}}
+	p.delReason = "definition not incrementally maintainable"
 	g := ast.Graph
+	refs := map[string]int{}
 	for _, b := range g.Boxes() {
 		if b.Kind == qgm.BaseTableBox {
-			p.baseTabs[b.Table.Name] = true
+			p.baseTabs[strings.ToLower(b.Table.Name)] = true
+		}
+		for _, q := range b.Quantifiers {
+			if q.Box.Kind == qgm.BaseTableBox {
+				refs[strings.ToLower(q.Box.Table.Name)]++
+			}
+		}
+	}
+	for name, n := range refs {
+		if n > 1 {
+			p.multiRef[name] = true
 		}
 	}
 
@@ -237,7 +294,64 @@ func (m *Maintainer) Analyze(ast *core.CompiledAST) *Plan {
 		}
 	}
 	p.Strategy = Incremental
+	p.analyzeDelete(gb)
 	return p
+}
+
+// analyzeDelete classifies the plan's delete path. Retirement requires a
+// COUNT(*)-equivalent tracker column (COUNT of a non-nullable expression
+// counts exactly the group's rows); with one, COUNT columns and SUMs of
+// non-nullable input subtract exactly, while MIN/MAX — and SUM over nullable
+// input, whose subtraction cannot reproduce an all-remaining-NULL group —
+// are recomputed scoped to the affected groups.
+func (p *Plan) analyzeDelete(gb *qgm.Box) {
+	nonNullableArg := func(a *qgm.Agg) bool {
+		if a.Star {
+			return true
+		}
+		_, nullable := qgm.InferType(a.Arg)
+		return !nullable
+	}
+	for i, role := range p.roles {
+		if role.key {
+			continue
+		}
+		switch role.agg.Op {
+		case "count":
+			if p.counterCol < 0 && nonNullableArg(role.agg) {
+				p.counterCol = i
+			}
+		case "sum":
+			if !nonNullableArg(role.agg) {
+				p.scopedCols = append(p.scopedCols, i)
+			}
+		case "min", "max":
+			p.scopedCols = append(p.scopedCols, i)
+		}
+	}
+	if p.counterCol < 0 {
+		p.delReason = "no COUNT(*) tracker column to retire emptied groups"
+		return
+	}
+	if len(p.scopedCols) > 0 {
+		if !gb.IsSimpleGroupBy() {
+			p.delReason = "supergroup with MIN/MAX (or nullable SUM): recompute cannot be scoped to cuboid groups"
+			return
+		}
+		// A scoped recompute injects per-group key equalities into the lower
+		// box, so it needs each grouping column's lower-box output ordinal.
+		for _, kc := range p.keyCols {
+			cr := p.AST.Graph.Root.Cols[kc].Expr.(*qgm.ColRef) // shape validated above
+			gcr, ok := gb.Cols[cr.Col].Expr.(*qgm.ColRef)
+			if !ok {
+				p.delReason = "grouping column is not a plain lower-box reference"
+				return
+			}
+			p.keyLowerOrds = append(p.keyLowerOrds, gcr.Col)
+		}
+	}
+	p.delStrategy = Incremental
+	p.delReason = ""
 }
 
 // Stats reports one refresh.
@@ -247,6 +361,8 @@ type Stats struct {
 	DeltaRows int // AST-level delta groups (incremental) or full rows
 	Merged    int // existing groups updated
 	Added     int // new groups appended
+	Retired   int // groups removed because their tracker count hit zero
+	Scoped    int // groups restored by a group-scoped recompute (MIN/MAX)
 	Duration  time.Duration
 	Err       error // non-nil when this AST's refresh failed (it is now stale)
 }
@@ -283,8 +399,10 @@ func (m *Maintainer) ApplyInsert(plans []*Plan, table string, rows [][]sqltypes.
 		// A stale or quarantined materialization is missing earlier deltas;
 		// merging this batch into it would produce wrong contents that the
 		// success path below would then mark fresh. Recovery is always a full
-		// recompute.
-		incremental := p.Strategy == Incremental && !m.staleOrQuarantined(p.AST.Def.Name)
+		// recompute. InsertRouting additionally forces self-joined tables to
+		// a full recompute (the overlay delta would miss ΔR⋈R and R⋈ΔR).
+		strat, _ := p.InsertRouting(table)
+		incremental := strat == Incremental && !m.staleOrQuarantined(p.AST.Def.Name)
 		if incremental {
 			st, err = m.incrementalRefresh(p, table, rows)
 		}

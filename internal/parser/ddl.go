@@ -57,10 +57,12 @@ type InsertStmt struct {
 	Rows  [][]Expr
 }
 
-// ExplainStmt is EXPLAIN <select>: the CLI prints the rewrite instead of (or
-// in addition to) executing.
+// ExplainStmt is EXPLAIN <select> (the CLI prints the rewrite instead of, or
+// in addition to, executing) or EXPLAIN <delete|update> (the CLI prints the
+// per-AST maintenance routing). Exactly one of Query and DML is set.
 type ExplainStmt struct {
 	Query *SelectStmt
+	DML   Statement // *DeleteStmt or *UpdateStmt
 }
 
 // LoadStmt is LOAD TABLE name FROM 'path.csv' — a shell extension for bulk
@@ -117,7 +119,12 @@ func (i *InsertStmt) SQL() string {
 }
 
 // SQL renders the statement.
-func (e *ExplainStmt) SQL() string { return "EXPLAIN " + e.Query.SQL() }
+func (e *ExplainStmt) SQL() string {
+	if e.DML != nil {
+		return "EXPLAIN " + e.DML.SQL()
+	}
+	return "EXPLAIN " + e.Query.SQL()
+}
 
 func typeName(k sqltypes.Kind) string { return k.String() }
 
@@ -189,8 +196,25 @@ func (p *parser) parseStatement() (Statement, error) {
 		}
 		p.advance()
 		return &LoadStmt{Table: name, Path: pathTok.Text}, nil
+	case t.Kind == TokIdent && t.Text == "delete":
+		return p.parseDelete()
+	case t.Kind == TokIdent && t.Text == "update":
+		return p.parseUpdate()
 	case t.Kind == TokIdent && t.Text == "explain":
 		p.advance()
+		if n := p.peek(); n.Kind == TokIdent && (n.Text == "delete" || n.Text == "update") {
+			var dml Statement
+			var err error
+			if n.Text == "delete" {
+				dml, err = p.parseDelete()
+			} else {
+				dml, err = p.parseUpdate()
+			}
+			if err != nil {
+				return nil, err
+			}
+			return &ExplainStmt{DML: dml}, nil
+		}
 		q, err := p.parseSelect()
 		if err != nil {
 			return nil, err

@@ -20,7 +20,9 @@ import (
 //  3. Built graphs are sound — whatever additionally builds into a QGM graph
 //     against the paper schema must pass the full static checker
 //     (internal/qgmcheck): the builder may reject input, but it must never
-//     hand the rewriter an ill-typed or structurally broken graph.
+//     hand the rewriter an ill-typed or structurally broken graph. DML
+//     statements (DELETE/UPDATE) go through their own builders, which must
+//     likewise reject cleanly or succeed, never panic.
 func FuzzParse(f *testing.F) {
 	// Seeds: the paper's AST definitions and example queries, plus edge cases.
 	for _, sql := range []string{
@@ -43,6 +45,18 @@ func FuzzParse(f *testing.F) {
 			group by grouping sets((flid, year(date)), (year(date)))`,
 		"", "select", "select from where", "select 'unterminated",
 		"select ((((1))))", "group by",
+		// DML grammar coverage: WHERE-less forms, multi-assignment SET,
+		// quoted identifiers, computed SET expressions, EXPLAIN routing.
+		`delete from trans`,
+		`delete from trans where qty = 3 and flid <= 40`,
+		`delete from "Weird Table" where "a b" = 1`,
+		`update trans set qty = 1`,
+		`update trans set qty = qty + 1, price = price * 1.1 where tid <= 200`,
+		`update loc set state = 'TX', country = 'USA' where lid = 7`,
+		`update "Weird Table" set "a b" = null where "c d" is not null`,
+		`explain delete from trans where fpgid = 3`,
+		`explain update trans set flid = 5 where flid = 7`,
+		"delete", "delete from", "update trans set", "update trans set qty",
 	} {
 		f.Add(sql)
 	}
@@ -53,24 +67,40 @@ func FuzzParse(f *testing.F) {
 	workload.Schema(cat)
 
 	f.Fuzz(func(t *testing.T, src string) {
-		stmt, err := parser.Parse(src) // must not panic
+		stmt, err := parser.ParseStatement(src) // must not panic
 		if err != nil {
 			return
 		}
 		printed := stmt.SQL()
-		stmt2, err := parser.Parse(printed)
+		stmt2, err := parser.ParseStatement(printed)
 		if err != nil {
 			t.Fatalf("printed SQL does not re-parse: %v\ninput:   %q\nprinted: %q", err, src, printed)
 		}
 		if again := stmt2.SQL(); again != printed {
 			t.Fatalf("print not stable:\nfirst:  %q\nsecond: %q", printed, again)
 		}
-		g, err := qgm.Build(stmt, cat)
-		if err != nil {
-			return // semantic rejection (unknown table/column, …) is fine
-		}
-		if vs := qgmcheck.Check(g); len(vs) > 0 {
-			t.Fatalf("built graph fails the static checker for %q:\n%v", src, vs)
+		// Build oracle per statement kind; semantic rejection (unknown
+		// table/column, …) is fine, a panic or an unsound graph is not.
+		switch s := stmt.(type) {
+		case *parser.SelectStmt:
+			g, err := qgm.Build(s, cat)
+			if err != nil {
+				return
+			}
+			if vs := qgmcheck.Check(g); len(vs) > 0 {
+				t.Fatalf("built graph fails the static checker for %q:\n%v", src, vs)
+			}
+		case *parser.DeleteStmt:
+			_, _ = qgm.BuildDelete(s, cat)
+		case *parser.UpdateStmt:
+			_, _ = qgm.BuildUpdate(s, cat)
+		case *parser.ExplainStmt:
+			switch d := s.DML.(type) {
+			case *parser.DeleteStmt:
+				_, _ = qgm.BuildDelete(d, cat)
+			case *parser.UpdateStmt:
+				_, _ = qgm.BuildUpdate(d, cat)
+			}
 		}
 	})
 }
