@@ -47,6 +47,17 @@ type (
 	Stats = maintain.Stats
 	// Rewrite is the outcome of a plan-cache-aware rewrite.
 	Rewrite = core.CachedRewrite
+	// VecMode is the Config.Vectorize knob selecting the executor's
+	// evaluation strategy.
+	VecMode = exec.VecMode
+)
+
+// Config.Vectorize values: VecAuto (the default) runs supported plan shapes
+// through the vectorized executor; VecOff pins the row-at-a-time reference
+// path.
+const (
+	VecAuto = exec.VecAuto
+	VecOff  = exec.VecOff
 )
 
 // Typed execution errors surfaced by Query/QueryGraph; test with errors.Is.

@@ -36,8 +36,12 @@ type Report struct {
 	EstRewrittenRows int
 
 	// ActualRows counts the rows the chosen plan produced; ExecError records
-	// an execution failure instead.
+	// an execution failure instead. ExecMode reports how the executor
+	// evaluated the plan: "vectorized" when at least one box ran through the
+	// vectorized kernels, "compiled-row" for the compiled row path,
+	// "interpreted" under Config.Interpret.
 	ActualRows int
+	ExecMode   string
 	ExecError  string
 }
 
@@ -127,6 +131,7 @@ func (e *Engine) Explain(ctx context.Context, sql string) (*Report, error) {
 		rep.ExecError = err.Error()
 	} else {
 		rep.ActualRows = len(r.Rows)
+		rep.ExecMode = r.Mode
 	}
 	return rep, nil
 }
@@ -230,7 +235,7 @@ func (r *Report) Render(w io.Writer) {
 	if r.ExecError != "" {
 		fmt.Fprintf(w, "execution failed: %s\n", r.ExecError)
 	} else {
-		fmt.Fprintf(w, "actual rows: %d\n", r.ActualRows)
+		fmt.Fprintf(w, "execution: %s, actual rows: %d\n", r.ExecMode, r.ActualRows)
 	}
 }
 

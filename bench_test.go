@@ -129,14 +129,18 @@ func BenchmarkE08_Fig12_CubeSemantics(b *testing.B) {
 	}
 	engine := exec.NewEngine(store)
 	// serial pins Parallelism=1 (the reference path); parallel uses the
-	// GOMAXPROCS default, so the ratio reflects the machine's cores.
+	// GOMAXPROCS default, so the ratio reflects the machine's cores. Both pin
+	// VecOff for comparability with earlier recorded runs; vectorized is the
+	// columnar grouping-sets path (one pass shares chunk vectors across sets).
 	for _, mode := range []struct {
 		name string
 		par  int
-	}{{"serial", 1}, {"parallel", 0}} {
+		vec  exec.VecMode
+	}{{"serial", 1, exec.VecOff}, {"parallel", 0, exec.VecOff}, {"vectorized", 1, exec.VecAuto}} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := engine.RunCtx(context.Background(), g, exec.Config{Parallelism: mode.par}); err != nil {
+				cfg := exec.Config{Parallelism: mode.par, Vectorize: mode.vec}
+				if _, err := engine.RunCtx(context.Background(), g, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -359,13 +363,23 @@ func BenchmarkE14_DSSuite(b *testing.B) {
 	}
 	// Cross original-vs-rewritten with serial-vs-parallel execution (the
 	// grouping-heavy suite is where partitioned aggregation should pay), plus
-	// a serial interpreted leg isolating the compiled-expression-kernel win.
+	// a serial interpreted leg isolating the compiled-expression-kernel win
+	// and vectorized legs isolating the columnar-kernel win. The serial and
+	// parallel legs pin VecOff so they stay comparable with the row-engine
+	// numbers recorded in BENCH_1/BENCH_2.
 	for _, mode := range []struct {
 		name   string
 		par    int
 		interp bool
-	}{{"serial", 1, false}, {"parallel", 0, false}, {"serial/interpreted", 1, true}} {
-		cfg := exec.Config{Parallelism: mode.par, Interpret: mode.interp}
+		vec    exec.VecMode
+	}{
+		{"serial", 1, false, exec.VecOff},
+		{"parallel", 0, false, exec.VecOff},
+		{"serial/interpreted", 1, true, exec.VecOff},
+		{"vectorized", 1, false, exec.VecAuto},
+		{"vectorized/parallel", 0, false, exec.VecAuto},
+	} {
+		cfg := exec.Config{Parallelism: mode.par, Interpret: mode.interp, Vectorize: mode.vec}
 		b.Run("original/"+mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, g := range origs {

@@ -75,9 +75,12 @@ func runJSON(path string, scale int) error {
 			return fmt.Errorf("register %s: %w", name, err)
 		}
 	}
-	// Two execution facades over one environment: serial and all-cores.
-	serial := env.DB(astdb.WithLimits(astdb.Config{Parallelism: 1}))
-	parallel := env.DB(astdb.WithLimits(astdb.Config{Parallelism: 0}))
+	// Three execution facades over one environment: serial and all-cores on
+	// the row engine (pinned VecOff for comparability with the BENCH_1/2
+	// records), plus the vectorized executor.
+	serial := env.DB(astdb.WithLimits(astdb.Config{Parallelism: 1, Vectorize: astdb.VecOff}))
+	parallel := env.DB(astdb.WithLimits(astdb.Config{Parallelism: 0, Vectorize: astdb.VecOff}))
+	vectorized := env.DB(astdb.WithLimits(astdb.Config{Parallelism: 1}))
 
 	// Original-vs-rewritten on the headline paper pairings, serial and
 	// parallel on the grouping-heavy ones.
@@ -114,7 +117,9 @@ func runJSON(path string, scale int) error {
 	}
 	rep.measure("E08/serial", runEngine(serial, e08))
 	rep.measure("E08/parallel", runEngine(parallel, e08))
+	rep.measure("E08/vectorized", runEngine(vectorized, e08))
 	rep.ratio("E08/parallel_speedup", "E08/serial", "E08/parallel")
+	rep.ratio("E08/vector_speedup", "E08/serial", "E08/vectorized")
 
 	// E14 DS suite, original vs routed, serial vs parallel.
 	dsEnv := bench.NewEnvDefault(scale)
@@ -123,8 +128,9 @@ func runJSON(path string, scale int) error {
 			return err
 		}
 	}
-	dsSerial := dsEnv.DB(astdb.WithLimits(astdb.Config{Parallelism: 1}))
-	dsParallel := dsEnv.DB(astdb.WithLimits(astdb.Config{Parallelism: 0}))
+	dsSerial := dsEnv.DB(astdb.WithLimits(astdb.Config{Parallelism: 1, Vectorize: astdb.VecOff}))
+	dsParallel := dsEnv.DB(astdb.WithLimits(astdb.Config{Parallelism: 0, Vectorize: astdb.VecOff}))
+	dsVectorized := dsEnv.DB(astdb.WithLimits(astdb.Config{Parallelism: 1}))
 	var origs, rewrites []*qgm.Graph
 	for _, q := range workload.DSQueries {
 		og, err := qgm.BuildSQL(q.SQL, dsEnv.Cat)
@@ -151,10 +157,13 @@ func runJSON(path string, scale int) error {
 	}
 	rep.measure("E14/original/serial", runSuite(dsSerial, origs))
 	rep.measure("E14/original/parallel", runSuite(dsParallel, origs))
+	rep.measure("E14/original/vectorized", runSuite(dsVectorized, origs))
 	rep.measure("E14/rewritten/serial", runSuite(dsSerial, rewrites))
 	rep.measure("E14/rewritten/parallel", runSuite(dsParallel, rewrites))
+	rep.measure("E14/rewritten/vectorized", runSuite(dsVectorized, rewrites))
 	rep.ratio("E14/rewrite_speedup", "E14/original/serial", "E14/rewritten/serial")
 	rep.ratio("E14/parallel_speedup", "E14/original/serial", "E14/original/parallel")
+	rep.ratio("E14/vector_speedup", "E14/original/serial", "E14/original/vectorized")
 
 	// E14 through the tree-walking interpreter: the serial rewritten suite
 	// with Interpret=true isolates what the compiled expression kernels buy.

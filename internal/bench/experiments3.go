@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/maintain"
+	"repro/internal/sqltypes"
 )
 
 // RunE16 quantifies the benefit of incremental AST maintenance (intro problem
@@ -91,15 +92,20 @@ func RunE17(w io.Writer, scale int) error {
 		return fmt.Errorf("bench: E17 clean trial should verify: %+v", clean)
 	}
 
-	// Corrupt a single count in the materialized table.
+	// Corrupt a single count in the materialized table. The chunked store
+	// has no in-place row mutation: copy the snapshot, corrupt one value,
+	// and swap the table wholesale (restoring the clean version after).
 	td := env.Store.MustTable("e17ast")
-	orig := td.Rows[0][2]
-	td.Rows[0][2] = sqltypesAdd(orig, 1)
+	clean0 := td.Snapshot()
+	dirtyRows := append([][]sqltypes.Value(nil), clean0...)
+	dirtyRows[0] = append([]sqltypes.Value(nil), dirtyRows[0]...)
+	dirtyRows[0][2] = sqltypesAdd(dirtyRows[0][2], 1)
+	env.Store.Put(td.Meta, dirtyRows)
 	dirty, err := env.RunTrial(sql, ast)
 	if err != nil {
 		return err
 	}
-	td.Rows[0][2] = orig
+	env.Store.Put(td.Meta, clean0)
 
 	tbl := newTable("condition", "rewritten", "verified", "first difference")
 	tbl.add("clean AST", okMark(clean.Rewritten), okMark(clean.Verified), "-")

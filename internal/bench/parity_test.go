@@ -18,13 +18,17 @@ import (
 // GOMAXPROCS, so this holds on single-core machines too).
 const parityScale = 6000
 
-// checkParity runs one plan serially (Parallelism=1, the reference path) and
-// at several worker counts, and requires identical results each time. The
-// serial leg is also run through the tree-walking interpreter (Interpret=true)
-// and must agree with the compiled expression kernels bit for bit.
+// checkParity runs one plan serially on the row engine (Parallelism=1,
+// Vectorize=VecOff — the reference path) and at several worker counts on both
+// the row and vectorized engines, and requires identical results each time.
+// The serial leg is also run through the tree-walking interpreter
+// (Interpret=true) and must agree with the compiled expression kernels bit
+// for bit. The vectorized serial leg must be serial-identical — same rows in
+// the same order, with tolerance only where parallel float-SUM accumulation
+// order already allows divergence.
 func checkParity(t *testing.T, eng *exec.Engine, g *qgm.Graph) {
 	t.Helper()
-	serial, err := eng.RunCtx(context.Background(), g, exec.Config{Parallelism: 1})
+	serial, err := eng.RunCtx(context.Background(), g, exec.Config{Parallelism: 1, Vectorize: exec.VecOff})
 	if err != nil {
 		t.Fatalf("serial run: %v", err)
 	}
@@ -37,14 +41,21 @@ func checkParity(t *testing.T, eng *exec.Engine, g *qgm.Graph) {
 			t.Fatalf("interpreted (par=%d) differs from compiled serial: %s", par, diff)
 		}
 	}
-	for _, par := range []int{0, 2, 3, 8} {
-		par := par
-		res, err := eng.RunCtx(context.Background(), g, exec.Config{Parallelism: par})
+	legs := []struct {
+		name string
+		par  int
+		vec  exec.VecMode
+	}{
+		{"row", 0, exec.VecOff}, {"row", 2, exec.VecOff}, {"row", 3, exec.VecOff}, {"row", 8, exec.VecOff},
+		{"vectorized", 1, exec.VecAuto}, {"vectorized", 0, exec.VecAuto}, {"vectorized", 4, exec.VecAuto},
+	}
+	for _, leg := range legs {
+		res, err := eng.RunCtx(context.Background(), g, exec.Config{Parallelism: leg.par, Vectorize: leg.vec})
 		if err != nil {
-			t.Fatalf("parallel run (par=%d): %v", par, err)
+			t.Fatalf("%s run (par=%d): %v", leg.name, leg.par, err)
 		}
 		if diff := exec.EqualResults(serial, res); diff != "" {
-			t.Fatalf("par=%d differs from serial: %s", par, diff)
+			t.Fatalf("%s par=%d differs from serial: %s", leg.name, leg.par, diff)
 		}
 		// The engine guarantees more than multiset equality: chunked operators
 		// concatenate in order, so row order must match the serial path too.
@@ -52,7 +63,7 @@ func checkParity(t *testing.T, eng *exec.Engine, g *qgm.Graph) {
 			for j := range serial.Rows[i] {
 				a, b := serial.Rows[i][j], res.Rows[i][j]
 				if a.GroupKey() != b.GroupKey() && !(a.IsNumeric() && b.IsNumeric()) {
-					t.Fatalf("par=%d row %d differs in order from serial: %v vs %v", par, i, serial.Rows[i], res.Rows[i])
+					t.Fatalf("%s par=%d row %d differs in order from serial: %v vs %v", leg.name, leg.par, i, serial.Rows[i], res.Rows[i])
 				}
 			}
 		}

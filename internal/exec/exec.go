@@ -47,6 +47,10 @@ const (
 type Result struct {
 	Cols []string
 	Rows [][]sqltypes.Value
+	// Mode reports how the run evaluated: ModeVectorized when at least one
+	// box ran on the vectorized path, ModeInterpreted under Config.Interpret,
+	// ModeCompiledRow otherwise. EXPLAIN surfaces it.
+	Mode string
 }
 
 // Engine runs QGM graphs against a store.
@@ -104,6 +108,7 @@ func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Config) (*Result,
 		chg:    charger{b: bud},
 		par:    lim.Parallelism,
 		interp: lim.Interpret,
+		vec:    !lim.Interpret && lim.Vectorize == VecAuto,
 		obsv:   e.obsv,
 	}
 	rows, err := ev.evalBox(g.Root)
@@ -124,7 +129,14 @@ func (e *Engine) RunCtx(ctx context.Context, g *qgm.Graph, lim Config) (*Result,
 	for i, c := range g.Root.Cols {
 		cols[i] = c.Name
 	}
-	return &Result{Cols: cols, Rows: rows}, nil
+	mode := ModeCompiledRow
+	switch {
+	case ev.usedVector:
+		mode = ModeVectorized
+	case lim.Interpret:
+		mode = ModeInterpreted
+	}
+	return &Result{Cols: cols, Rows: rows, Mode: mode}, nil
 }
 
 // MustRun is Run that panics on error; for tests.
@@ -144,7 +156,12 @@ type evaluator struct {
 	chg    charger // the main goroutine's charger; workers get their own
 	par    int     // Config.Parallelism (0 = GOMAXPROCS)
 	interp bool    // Config.Interpret: skip kernel compilation
+	vec    bool    // Config.Vectorize == VecAuto (and not interpreting)
 	obsv   *obs.Observer
+
+	// usedVector records that at least one box ran on the vectorized path
+	// this run (set on the main goroutine only; reported via Result.Mode).
+	usedVector bool
 }
 
 // checkpoint charges n materialized rows against the shared budget and
@@ -176,9 +193,21 @@ func (ev *evaluator) evalBox(b *qgm.Box) ([][]sqltypes.Value, error) {
 			err = ev.chg.flush()
 		}
 	case qgm.SelectBox:
-		rows, err = ev.evalSelect(b)
+		var handled bool
+		if ev.vec {
+			rows, handled, err = ev.evalSelectVec(b)
+		}
+		if !handled && err == nil {
+			rows, err = ev.evalSelect(b)
+		}
 	case qgm.GroupByBox:
-		rows, err = ev.evalGroupBy(b)
+		var handled bool
+		if ev.vec {
+			rows, handled, err = ev.evalGroupByVec(b)
+		}
+		if !handled && err == nil {
+			rows, err = ev.evalGroupBy(b)
+		}
 	default:
 		err = fmt.Errorf("exec: unsupported box kind %v", b.Kind)
 	}
@@ -311,11 +340,15 @@ func (ev *evaluator) evalSelect(b *qgm.Box) ([][]sqltypes.Value, error) {
 	out := make([][]sqltypes.Value, len(bindings))
 	err = ev.parallelChunks(len(bindings), ev.workersFor(len(bindings)),
 		func(w, lo, hi int, chg *charger) error {
+			// One backing array per worker range instead of one allocation
+			// per output row; the capacity cap keeps rows independent.
+			vals := make([]sqltypes.Value, (hi-lo)*len(colKs))
 			for i := lo; i < hi; i++ {
 				if err := chg.checkpoint(1); err != nil {
 					return err
 				}
-				row := make([]sqltypes.Value, len(colKs))
+				row := vals[:len(colKs):len(colKs)]
+				vals = vals[len(colKs):]
 				for ci, k := range colKs {
 					v, err := k(bindings[i])
 					if err != nil {
@@ -359,11 +392,13 @@ func (ev *evaluator) driveScan(next *qgm.Quantifier, childRows [][]sqltypes.Valu
 	parts := make([][]binding, workers)
 	err = ev.parallelChunks(len(childRows), workers, func(w, lo, hi int, chg *charger) error {
 		out := make([]binding, 0, hi-lo)
+		arena := bindArena{width: 1}
 		for _, r := range childRows[lo:hi] {
 			if err := chg.checkpoint(0); err != nil {
 				return err
 			}
-			bd := binding{r}
+			bd := arena.next()
+			bd[0] = r
 			keep := true
 			for _, k := range applyKs {
 				t, err := k(bd)
@@ -491,7 +526,9 @@ func (ev *evaluator) hashJoin(bindings []binding, next *qgm.Quantifier, slot int
 	}
 
 	// Build hash table on child rows, keyed through a reusable scratch buffer
-	// (a key string is only allocated when it enters the table).
+	// (a key string is only allocated when it enters the table). Keys use the
+	// binary encoding — build and probe sides match, and its equivalence
+	// classes are the GroupKey classes, which are exactly `=` equality.
 	table := make(map[string][][]sqltypes.Value, len(childRows))
 	childBd := make(binding, slot+1)
 	var buf []byte
@@ -508,7 +545,7 @@ func (ev *evaluator) hashJoin(bindings []binding, next *qgm.Quantifier, slot int
 				null = true
 				break
 			}
-			buf = v.AppendGroupKey(buf)
+			buf = sqltypes.AppendBinKeyValue(buf, v)
 			buf = append(buf, 0)
 		}
 		if null {
@@ -517,6 +554,7 @@ func (ev *evaluator) hashJoin(bindings []binding, next *qgm.Quantifier, slot int
 		table[string(buf)] = append(table[string(buf)], r)
 	}
 
+	arena := bindArena{width: slot + 1}
 	out := make([]binding, 0, len(bindings))
 	for _, bd := range bindings {
 		buf = buf[:0]
@@ -530,7 +568,7 @@ func (ev *evaluator) hashJoin(bindings []binding, next *qgm.Quantifier, slot int
 				null = true
 				break
 			}
-			buf = v.AppendGroupKey(buf)
+			buf = sqltypes.AppendBinKeyValue(buf, v)
 			buf = append(buf, 0)
 		}
 		if null {
@@ -540,10 +578,33 @@ func (ev *evaluator) hashJoin(bindings []binding, next *qgm.Quantifier, slot int
 			if err := ev.checkpoint(1); err != nil {
 				return nil, err
 			}
-			out = append(out, extend(bd, r))
+			nb := arena.next()
+			copy(nb, bd)
+			nb[slot] = r
+			out = append(out, nb)
 		}
 	}
 	return out, nil
+}
+
+// bindArena hands out fixed-width bindings carved from block allocations,
+// replacing one small slice allocation per join output row with one per
+// arenaBlock rows. Carved bindings are capacity-capped, so growing one can
+// never overwrite a neighbour.
+type bindArena struct {
+	width int
+	free  [][]sqltypes.Value
+}
+
+const arenaBlock = 1024
+
+func (a *bindArena) next() binding {
+	if len(a.free) < a.width {
+		a.free = make([][]sqltypes.Value, a.width*arenaBlock)
+	}
+	b := binding(a.free[:a.width:a.width])
+	a.free = a.free[a.width:]
+	return b
 }
 
 // applicablePreds returns the indices of unused predicates whose quantifier

@@ -34,7 +34,25 @@ type Config struct {
 	// baseline leg of the kernel benchmarks; results are identical either
 	// way.
 	Interpret bool
+	// Vectorize selects the executor's evaluation strategy for plans the
+	// vectorized path supports (single-table scans and the GROUP BY shapes
+	// over them; see DESIGN.md §13). The zero value (VecAuto) vectorizes
+	// where supported, falling back per box — and per expression, via lifted
+	// row kernels — everywhere else; VecOff pins the row-at-a-time reference
+	// path. Interpret implies the row path regardless.
+	Vectorize VecMode
 }
+
+// VecMode is the Config.Vectorize knob.
+type VecMode uint8
+
+const (
+	// VecAuto (the zero value) enables the vectorized path where supported.
+	VecAuto VecMode = iota
+	// VecOff forces the row-at-a-time path, the reference for parity tests
+	// and the row-vs-vector benchmark legs.
+	VecOff
+)
 
 // Limits is the historical name of Config; existing call sites keep
 // compiling.

@@ -1,0 +1,1114 @@
+package exec
+
+import (
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// evalGroupByVec evaluates a GROUP BY box vectorized. Three child shapes:
+//
+//   - base table: aggregation runs directly over the table's chunks;
+//   - SELECT over one base table (the dominant shape of the paper's
+//     star-schema aggregations: GROUP BY over scan+filter+projection): the
+//     intermediate SELECT is fused away — its output-column expressions
+//     substitute into the grouping and aggregate-argument expressions, its
+//     predicates become chunk filters, and aggregation runs over the base
+//     table's chunks. The fused child is not materialized and therefore not
+//     memoized; in the workloads' plans a GROUP BY's select child has no
+//     other consumer (DAG sharing happens at base-table boxes, which both
+//     paths scan through the same fault site);
+//   - anything else (joins, DISTINCT children, nested GROUP BYs): the child
+//     evaluates through the normal box machinery — identical memoization,
+//     budget accounting and errors to the row path — and its rows are
+//     columnarized so the grouping itself still runs vectorized.
+//
+// In every shape, group and argument vectors are computed once per chunk and
+// shared across all grouping sets, and per-worker partials merge in chunk
+// order, so first-seen group order, each group's representative values, and
+// (serially) even float SUM accumulation order are identical to the row path.
+//
+// handled=false declines to the row path (expressions beyond the child
+// quantifier, non-aggregate output columns).
+func (ev *evaluator) evalGroupByVec(b *qgm.Box) ([][]sqltypes.Value, bool, error) {
+	if len(b.Quantifiers) != 1 || b.Quantifiers[0].Kind != qgm.ForEach {
+		ev.obsv.Add(CtrVecDeclined, 1)
+		return nil, false, nil
+	}
+	q := b.Quantifiers[0]
+	child := q.Box
+
+	// Non-grouping output columns must be aggregates (the row path's own
+	// validation error covers the rest).
+	type aggSpec struct {
+		agg *qgm.Agg
+		col int
+	}
+	var aggSpecs []aggSpec
+	for i := range b.Cols {
+		if b.IsGroupCol(i) {
+			continue
+		}
+		agg, ok := b.Cols[i].Expr.(*qgm.Agg)
+		if !ok {
+			ev.obsv.Add(CtrVecDeclined, 1)
+			return nil, false, nil
+		}
+		aggSpecs = append(aggSpecs, aggSpec{agg: agg, col: i})
+	}
+	nGroup := len(b.GroupBy)
+
+	// Every grouping and aggregate-argument expression must range over the
+	// box's single child quantifier; anything else (correlation, nested
+	// aggregates) goes to the row path for its exact errors.
+	noScalars := map[int]sqltypes.Value{}
+	for _, col := range b.GroupBy {
+		if !exprOverQuant(b.Cols[col].Expr, q.ID, noScalars) {
+			ev.obsv.Add(CtrVecDeclined, 1)
+			return nil, false, nil
+		}
+	}
+	for _, spec := range aggSpecs {
+		if !spec.agg.Star && !exprOverQuant(spec.agg.Arg, q.ID, noScalars) {
+			ev.obsv.Add(CtrVecDeclined, 1)
+			return nil, false, nil
+		}
+	}
+
+	// Shape resolution: the fused base-table shapes first (aggregation runs
+	// directly over storage chunks, nothing materialized), else evaluate the
+	// child through the normal box machinery — identical memoization and
+	// budget accounting to the row path — and columnarize its rows, so GROUP
+	// BY over joins, DISTINCT children and nested GROUP BYs still aggregates
+	// vectorized.
+	var (
+		filters []vecFilter
+		groupKs []vecKernel
+		argKs   []vecKernel
+		chunks  []*storage.Chunk
+		total   int
+		ncols   int
+		star    *starPlan
+	)
+	tryFused := func() (bool, error) {
+		var baseQ *qgm.Quantifier
+		var dimQs []*qgm.Quantifier
+		var childPreds []qgm.Expr
+		var childCols []qgm.QCL // nil: child IS the base table, no substitution
+		scalarQs := []*qgm.Quantifier(nil)
+		switch child.Kind {
+		case qgm.BaseTableBox:
+			baseQ = q
+		case qgm.SelectBox:
+			if child.Distinct {
+				return false, nil
+			}
+			for _, cq := range child.Quantifiers {
+				switch cq.Kind {
+				case qgm.ForEach:
+					if baseQ == nil {
+						baseQ = cq
+					} else {
+						dimQs = append(dimQs, cq)
+					}
+				case qgm.Scalar:
+					scalarQs = append(scalarQs, cq)
+				}
+			}
+			if baseQ == nil || baseQ.Box.Kind != qgm.BaseTableBox {
+				return false, nil
+			}
+			for _, dq := range dimQs {
+				if dq.Box.Kind != qgm.BaseTableBox {
+					return false, nil
+				}
+			}
+			childPreds = child.Preds
+			childCols = child.Cols
+			for _, c := range childCols {
+				if c.Expr == nil {
+					return false, nil
+				}
+			}
+		default:
+			return false, nil
+		}
+
+		// Substitute the fused SELECT's output expressions into the grouping
+		// and aggregate-argument expressions, then require everything to be
+		// over the base quantifier (plus scalar subqueries).
+		subst := func(e qgm.Expr) (qgm.Expr, bool) {
+			if childCols == nil {
+				return e, true
+			}
+			return substExpr(e, q.ID, childCols)
+		}
+		groupExprs := make([]qgm.Expr, nGroup)
+		for pos, col := range b.GroupBy {
+			e, ok := subst(b.Cols[col].Expr)
+			if !ok {
+				return false, nil
+			}
+			groupExprs[pos] = e
+		}
+		argExprs := make([]qgm.Expr, len(aggSpecs)) // nil for COUNT(*)
+		for ai, spec := range aggSpecs {
+			if spec.agg.Star {
+				continue
+			}
+			e, ok := subst(spec.agg.Arg)
+			if !ok {
+				return false, nil
+			}
+			argExprs[ai] = e
+		}
+
+		// Scalar subqueries of the fused child evaluate once, as the row
+		// path would when evaluating that child. A multi-row scalar falls
+		// through to the materialized path, whose child evaluation raises
+		// the exact error.
+		scalars := map[int]sqltypes.Value{}
+		for _, sq := range scalarQs {
+			rows, err := ev.evalBox(sq.Box)
+			if err != nil {
+				return false, err
+			}
+			switch len(rows) {
+			case 0:
+				scalars[sq.ID] = sqltypes.Null
+			case 1:
+				scalars[sq.ID] = rows[0][0]
+			default:
+				return false, nil
+			}
+		}
+
+		ectx := &exprCtx{scalars: scalars}
+		ectx.setSlot(baseQ.ID, 0)
+		vc := &vecCompiler{ev: ev, ectx: ectx, baseQID: baseQ.ID}
+
+		if len(dimQs) == 0 {
+			for _, p := range childPreds {
+				if !exprOverQuant(p, baseQ.ID, scalars) {
+					return false, nil
+				}
+			}
+			for _, e := range groupExprs {
+				if !exprOverQuant(e, baseQ.ID, scalars) {
+					return false, nil
+				}
+			}
+			for _, e := range argExprs {
+				if e != nil && !exprOverQuant(e, baseQ.ID, scalars) {
+					return false, nil
+				}
+			}
+			filters = make([]vecFilter, len(childPreds))
+			for i, p := range childPreds {
+				filters[i] = vc.compileFilter(p)
+			}
+			groupKs = make([]vecKernel, nGroup)
+			for pos, e := range groupExprs {
+				groupKs[pos] = vc.compileScalar(e)
+			}
+			argKs = make([]vecKernel, len(aggSpecs))
+			for ai, e := range argExprs {
+				if e != nil {
+					argKs[ai] = vc.compileScalar(e)
+				}
+			}
+			var err error
+			chunks, total, err = ev.scanChunks(baseQ.Box.Table.Name)
+			if err != nil {
+				return false, err
+			}
+			ncols = len(baseQ.Box.Cols)
+			return true, nil
+		}
+
+		// Star shape: the remaining ForEach quantifiers are dimensions, each
+		// reachable from the fact quantifier by equality predicates. classify
+		// maps an expression to its single source: -1 the fact quantifier
+		// (constants included), k the k-th dimension; mixed-source or
+		// aggregate-bearing expressions resolve ok=false.
+		dimOf := map[int]int{}
+		for k, dq := range dimQs {
+			dimOf[dq.ID] = k
+		}
+		classify := func(e qgm.Expr) (int, bool) {
+			qs := sideQuants(e, scalars)
+			if qs == nil {
+				return 0, false
+			}
+			src, seenFact := -1, false
+			for qi := range qs {
+				if qi == baseQ.ID {
+					seenFact = true
+					continue
+				}
+				k, isDim := dimOf[qi]
+				if !isDim || (src >= 0 && src != k) {
+					return 0, false
+				}
+				src = k
+			}
+			if seenFact && src >= 0 {
+				return 0, false
+			}
+			return src, true
+		}
+
+		// Partition the child predicates: fact-local (chunk filters),
+		// dim-local (applied while building the dim hash), and fact↔dim
+		// equality join keys. Any other shape — dim↔dim keys, non-equality
+		// cross-quantifier predicates, constant predicates — falls back.
+		var factPreds []qgm.Expr
+		dimPreds := make([][]qgm.Expr, len(dimQs))
+		factKeys := make([][]qgm.Expr, len(dimQs))
+		dimKeys := make([][]qgm.Expr, len(dimQs))
+		for _, p := range childPreds {
+			if src, ok := classify(p); ok {
+				if src == -1 {
+					if qs := sideQuants(p, scalars); len(qs) == 0 {
+						return false, nil // constant predicate: row path semantics
+					}
+					factPreds = append(factPreds, p)
+				} else {
+					dimPreds[src] = append(dimPreds[src], p)
+				}
+				continue
+			}
+			bin, isBin := p.(*qgm.Bin)
+			if !isBin || bin.Op != "=" {
+				return false, nil
+			}
+			lsrc, lok := classify(bin.L)
+			rsrc, rok := classify(bin.R)
+			if !lok || !rok {
+				return false, nil
+			}
+			switch {
+			case lsrc == -1 && rsrc >= 0:
+				factKeys[rsrc] = append(factKeys[rsrc], bin.L)
+				dimKeys[rsrc] = append(dimKeys[rsrc], bin.R)
+			case rsrc == -1 && lsrc >= 0:
+				factKeys[lsrc] = append(factKeys[lsrc], bin.R)
+				dimKeys[lsrc] = append(dimKeys[lsrc], bin.L)
+			default:
+				return false, nil
+			}
+		}
+		for k := range dimQs {
+			if len(factKeys[k]) == 0 {
+				return false, nil // cross join: row path order semantics
+			}
+		}
+
+		// Classify grouping and argument expressions by source.
+		sp := &starPlan{
+			groupSrc:     make([]int, nGroup),
+			argSrc:       make([]int, len(aggSpecs)),
+			dimGroupVals: make([][]sqltypes.Value, nGroup),
+			dimArgVals:   make([][]sqltypes.Value, len(aggSpecs)),
+		}
+		for pos, e := range groupExprs {
+			src, ok := classify(e)
+			if !ok {
+				return false, nil
+			}
+			sp.groupSrc[pos] = src
+		}
+		for ai, e := range argExprs {
+			sp.argSrc[ai] = -1
+			if e == nil {
+				continue
+			}
+			src, ok := classify(e)
+			if !ok {
+				return false, nil
+			}
+			sp.argSrc[ai] = src
+		}
+
+		// Build each dimension: evaluate its rows through the normal box
+		// machinery (memoized, same budget charges as the row path), filter
+		// by its local predicates, hash its join-key values, and precompute
+		// every dim-sourced grouping/argument expression per row. The row
+		// path only ever evaluates these on rows that survive the join, so
+		// any evaluation error here falls back to the materialized path,
+		// which reproduces row-path behavior exactly.
+		sp.dims = make([]starDim, len(dimQs))
+		for k, dq := range dimQs {
+			dimRows, err := ev.evalBox(dq.Box)
+			if err != nil {
+				return false, err
+			}
+			dctx := &exprCtx{scalars: scalars}
+			dctx.setSlot(dq.ID, 0)
+			predKs := make([]predKernel, len(dimPreds[k]))
+			for i, p := range dimPreds[k] {
+				if ev.interp {
+					p := p
+					predKs[i] = func(bd binding) (sqltypes.Tri, error) { return dctx.evalPred(p, bd) }
+					continue
+				}
+				pk, ok := dctx.compilePred(p)
+				ev.countCompile(ok)
+				predKs[i] = pk
+			}
+			keyKs := make([]scalarKernel, len(dimKeys[k]))
+			for i, e := range dimKeys[k] {
+				keyKs[i] = ev.scalarKernel(dctx, e)
+			}
+			sd := starDim{table: map[string][]int32{}}
+			bd := make(binding, 1)
+			var kbuf []byte
+			for ri, r := range dimRows {
+				bd[0] = r
+				pass := true
+				for _, pk := range predKs {
+					tv, err := pk(bd)
+					if err != nil {
+						return false, nil
+					}
+					if tv != sqltypes.True {
+						pass = false
+						break
+					}
+				}
+				if !pass {
+					continue
+				}
+				kbuf = kbuf[:0]
+				null := false
+				for _, kk := range keyKs {
+					v, err := kk(bd)
+					if err != nil {
+						return false, nil
+					}
+					if v.IsNull() {
+						null = true
+						break
+					}
+					kbuf = sqltypes.AppendBinKeyValue(kbuf, v)
+					kbuf = append(kbuf, 0)
+				}
+				if null {
+					continue // NULL join keys never match
+				}
+				sd.table[string(kbuf)] = append(sd.table[string(kbuf)], int32(ri))
+			}
+			for _, e := range factKeys[k] {
+				sd.keyKs = append(sd.keyKs, vc.compileScalar(e))
+			}
+			evalPerRow := func(e qgm.Expr) ([]sqltypes.Value, bool) {
+				rk := ev.scalarKernel(dctx, e)
+				vals := make([]sqltypes.Value, len(dimRows))
+				for ri, r := range dimRows {
+					bd[0] = r
+					v, err := rk(bd)
+					if err != nil {
+						return nil, false
+					}
+					vals[ri] = v
+				}
+				return vals, true
+			}
+			for pos, e := range groupExprs {
+				if sp.groupSrc[pos] != k {
+					continue
+				}
+				vals, ok := evalPerRow(e)
+				if !ok {
+					return false, nil
+				}
+				sp.dimGroupVals[pos] = vals
+			}
+			for ai, e := range argExprs {
+				if sp.argSrc[ai] != k || e == nil {
+					continue
+				}
+				vals, ok := evalPerRow(e)
+				if !ok {
+					return false, nil
+				}
+				sp.dimArgVals[ai] = vals
+			}
+			sp.dims[k] = sd
+		}
+
+		// Fact-side compilation; the shared aggregation loop reads gvecs and
+		// avecs in the join-output tuple domain, so fact-sourced kernels are
+		// gathered through the tuple fact indices after the probe.
+		filters = make([]vecFilter, len(factPreds))
+		for i, p := range factPreds {
+			filters[i] = vc.compileFilter(p)
+		}
+		groupKs = make([]vecKernel, nGroup)
+		for pos, e := range groupExprs {
+			if sp.groupSrc[pos] == -1 {
+				groupKs[pos] = vc.compileScalar(e)
+			}
+		}
+		argKs = make([]vecKernel, len(aggSpecs))
+		for ai, e := range argExprs {
+			if e != nil && sp.argSrc[ai] == -1 {
+				argKs[ai] = vc.compileScalar(e)
+			}
+		}
+
+		var err error
+		chunks, total, err = ev.scanChunks(baseQ.Box.Table.Name)
+		if err != nil {
+			return false, err
+		}
+		ncols = len(baseQ.Box.Cols)
+		star = sp
+		return true, nil
+	}
+	fused, err := tryFused()
+	if err != nil {
+		return nil, true, err
+	}
+	if !fused {
+		rows, err := ev.evalBox(child)
+		if err != nil {
+			return nil, true, err
+		}
+		ncols = len(child.Cols)
+		ectx := &exprCtx{scalars: noScalars}
+		ectx.setSlot(q.ID, 0)
+		vc := &vecCompiler{ev: ev, ectx: ectx, baseQID: q.ID}
+		groupKs = make([]vecKernel, nGroup)
+		for pos, col := range b.GroupBy {
+			groupKs[pos] = vc.compileScalar(b.Cols[col].Expr)
+		}
+		argKs = make([]vecKernel, len(aggSpecs))
+		for ai, spec := range aggSpecs {
+			if !spec.agg.Star {
+				argKs[ai] = vc.compileScalar(spec.agg.Arg)
+			}
+		}
+		filters = nil
+		chunks = columnarize(rows, ncols)
+		total = len(rows)
+	}
+
+	sets := b.GroupingSets
+	if len(sets) == 0 {
+		sets = [][]int{allInts(nGroup)}
+	}
+
+	// One aggregation pass over the chunks computes every grouping set:
+	// group/argument vectors are evaluated once per chunk, then each set
+	// accumulates its own partial. Set-major within each chunk and chunk-major
+	// merging keeps every per-set ordering identical to the row path's
+	// set-major-over-all-rows order.
+	type vecGroup struct {
+		repr []sqltypes.Value // grouping values at the group's first row
+		aggs []aggState
+	}
+	type setPartial struct {
+		groups map[string]*vecGroup
+		order  []string
+	}
+
+	workers := ev.workersFor(total)
+	partials := make([][]setPartial, workers)
+	err = ev.parallelChunks(len(chunks), workers, func(w, lo, hi int, chg *charger) error {
+		cs := newChunkState(ncols)
+		var ss *starScratch
+		if star != nil {
+			ss = newStarScratch(star)
+		}
+		sp := make([]setPartial, len(sets))
+		for si := range sp {
+			sp[si].groups = map[string]*vecGroup{}
+		}
+		gvecs := make([]*sqltypes.Vec, nGroup)
+		avecs := make([]*sqltypes.Vec, len(aggSpecs))
+		accums := make([]accumFn, len(aggSpecs))
+		var buf []byte
+		for ci := lo; ci < hi; ci++ {
+			cs.reset(chunks[ci])
+			for _, f := range filters {
+				if err := f(cs); err != nil {
+					return err
+				}
+				if cs.n() == 0 {
+					break
+				}
+			}
+			n := cs.n()
+			if n == 0 {
+				continue
+			}
+			if ss != nil {
+				// Star shape: probe the dimension hash tables with this
+				// chunk's fact keys and synthesize group/argument vectors in
+				// the join-output tuple domain.
+				var err error
+				n, err = ss.expand(cs, groupKs, argKs, gvecs, avecs)
+				if err != nil {
+					return err
+				}
+				if n == 0 {
+					continue
+				}
+			} else {
+				for pos, k := range groupKs {
+					v, err := k(cs)
+					if err != nil {
+						return err
+					}
+					gvecs[pos] = v
+				}
+				for ai, k := range argKs {
+					if k == nil {
+						continue
+					}
+					v, err := k(cs)
+					if err != nil {
+						return err
+					}
+					avecs[ai] = v
+				}
+			}
+			// Kind dispatch per chunk, not per row: each aggregate gets a
+			// typed accumulator over this chunk's argument vector.
+			for ai := range aggSpecs {
+				accums[ai] = buildAccum(aggSpecs[ai].agg, avecs[ai])
+			}
+			for si, gs := range sets {
+				// The per-input-row budget charge lands on the first grouping
+				// set, batched per chunk (same totals as the row path's fused
+				// per-row charge).
+				rowCharge := 0
+				if si == 0 {
+					rowCharge = n
+				}
+				if err := chg.checkpoint(rowCharge); err != nil {
+					return err
+				}
+				p := &sp[si]
+				for di := 0; di < n; di++ {
+					buf = buf[:0]
+					for _, pos := range gs {
+						buf = gvecs[pos].AppendBinKey(buf, di)
+						buf = append(buf, 0)
+					}
+					g, ok := p.groups[string(buf)]
+					if !ok {
+						g = &vecGroup{
+							repr: make([]sqltypes.Value, nGroup),
+							aggs: make([]aggState, len(aggSpecs)),
+						}
+						for _, pos := range gs {
+							g.repr[pos] = gvecs[pos].Value(di)
+						}
+						k := string(buf)
+						p.groups[k] = g
+						p.order = append(p.order, k)
+					}
+					for ai, fn := range accums {
+						if err := fn(&g.aggs[ai], di); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		partials[w] = sp
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+
+	// Merge workers' per-set partials in chunk order.
+	merged := make([]setPartial, len(sets))
+	for si := range sets {
+		merged[si] = partials[0][si]
+		for _, sp := range partials[1:] {
+			for _, k := range sp[si].order {
+				o := sp[si].groups[k]
+				g, ok := merged[si].groups[k]
+				if !ok {
+					merged[si].groups[k] = o
+					merged[si].order = append(merged[si].order, k)
+					continue
+				}
+				for ai := range aggSpecs {
+					if err := g.aggs[ai].merge(aggSpecs[ai].agg, &o.aggs[ai]); err != nil {
+						return nil, true, err
+					}
+				}
+			}
+		}
+	}
+
+	var out [][]sqltypes.Value
+	for si, gs := range sets {
+		inSet := make([]bool, nGroup)
+		for _, pos := range gs {
+			inSet[pos] = true
+		}
+		p := merged[si]
+		// A global aggregate (empty grouping set) over empty input produces
+		// one row: COUNT is 0 and the other aggregates are NULL.
+		if len(gs) == 0 && len(p.order) == 0 {
+			row := make([]sqltypes.Value, len(b.Cols))
+			for _, col := range b.GroupBy {
+				row[col] = sqltypes.Null
+			}
+			empty := newGroupState(len(aggSpecs))
+			for ai, spec := range aggSpecs {
+				row[spec.col] = empty.aggs[ai].result(spec.agg)
+			}
+			out = append(out, row)
+			continue
+		}
+		for _, k := range p.order {
+			if err := ev.checkpoint(1); err != nil {
+				return nil, true, err
+			}
+			g := p.groups[k]
+			row := make([]sqltypes.Value, len(b.Cols))
+			for pos, col := range b.GroupBy {
+				if !inSet[pos] {
+					row[col] = sqltypes.Null
+				} else {
+					row[col] = g.repr[pos]
+				}
+			}
+			for ai, spec := range aggSpecs {
+				row[spec.col] = g.aggs[ai].result(spec.agg)
+			}
+			out = append(out, row)
+		}
+	}
+	ev.obsv.Add(CtrVecBoxes, 1)
+	ev.usedVector = true
+	return out, true, nil
+}
+
+// columnarize builds read-only chunks from materialized child rows so the
+// grouping loop can run vectorized over any child shape. Row order is
+// preserved, so chunk-order merging keeps the row path's group order.
+func columnarize(rows [][]sqltypes.Value, ncols int) []*storage.Chunk {
+	var chunks []*storage.Chunk
+	for lo := 0; lo < len(rows); lo += storage.ChunkRows {
+		hi := lo + storage.ChunkRows
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		c := &storage.Chunk{N: hi - lo, Cols: make([]sqltypes.Vec, ncols)}
+		for _, r := range rows[lo:hi] {
+			for ci := 0; ci < ncols; ci++ {
+				c.Cols[ci].AppendValue(r[ci])
+			}
+		}
+		chunks = append(chunks, c)
+	}
+	return chunks
+}
+
+// substExpr rewrites e, replacing every reference to quantifier qid's column
+// c with cols[c].Expr (the fused SELECT child's output expression). Shared
+// subtrees are fine — expressions are immutable. Returns ok=false on an
+// unknown node shape, declining the fusion.
+func substExpr(e qgm.Expr, qid int, cols []qgm.QCL) (qgm.Expr, bool) {
+	switch t := e.(type) {
+	case *qgm.ColRef:
+		if t.Q != nil && t.Q.ID == qid {
+			if t.Col < 0 || t.Col >= len(cols) || cols[t.Col].Expr == nil {
+				return nil, false
+			}
+			return cols[t.Col].Expr, true
+		}
+		return t, true
+	case *qgm.Const:
+		return t, true
+	case *qgm.Call:
+		args := make([]qgm.Expr, len(t.Args))
+		for i, a := range t.Args {
+			na, ok := substExpr(a, qid, cols)
+			if !ok {
+				return nil, false
+			}
+			args[i] = na
+		}
+		return &qgm.Call{Name: t.Name, Args: args}, true
+	case *qgm.Bin:
+		l, lok := substExpr(t.L, qid, cols)
+		r, rok := substExpr(t.R, qid, cols)
+		if !lok || !rok {
+			return nil, false
+		}
+		return &qgm.Bin{Op: t.Op, L: l, R: r}, true
+	case *qgm.Not:
+		inner, ok := substExpr(t.E, qid, cols)
+		if !ok {
+			return nil, false
+		}
+		return &qgm.Not{E: inner}, true
+	case *qgm.IsNull:
+		inner, ok := substExpr(t.E, qid, cols)
+		if !ok {
+			return nil, false
+		}
+		return &qgm.IsNull{E: inner, Neg: t.Neg}, true
+	case *qgm.Like:
+		v, vok := substExpr(t.E, qid, cols)
+		p, pok := substExpr(t.Pattern, qid, cols)
+		if !vok || !pok {
+			return nil, false
+		}
+		return &qgm.Like{E: v, Pattern: p, Neg: t.Neg}, true
+	case *qgm.Agg:
+		if t.Star {
+			return t, true
+		}
+		a, ok := substExpr(t.Arg, qid, cols)
+		if !ok {
+			return nil, false
+		}
+		return &qgm.Agg{Op: t.Op, Arg: a, Star: t.Star, Distinct: t.Distinct}, true
+	case *qgm.Case:
+		whens := make([]qgm.CaseWhen, len(t.Whens))
+		for i, w := range t.Whens {
+			c, cok := substExpr(w.Cond, qid, cols)
+			th, tok := substExpr(w.Then, qid, cols)
+			if !cok || !tok {
+				return nil, false
+			}
+			whens[i] = qgm.CaseWhen{Cond: c, Then: th}
+		}
+		var els qgm.Expr
+		if t.Else != nil {
+			var ok bool
+			els, ok = substExpr(t.Else, qid, cols)
+			if !ok {
+				return nil, false
+			}
+		}
+		return &qgm.Case{Whens: whens, Else: els}, true
+	default:
+		return nil, false
+	}
+}
+
+// accumFn folds element di of one chunk's argument vector into a group's
+// aggregate state. Accumulators are built once per (aggregate, chunk) so kind
+// dispatch happens per chunk rather than per row; the fast paths mutate the
+// same aggState fields the row engine's accumulate does and fall back to it
+// for anything outside count/sum over typed numeric vectors, so merge and
+// result semantics are unchanged.
+type accumFn func(s *aggState, di int) error
+
+func buildAccum(spec *qgm.Agg, av *sqltypes.Vec) accumFn {
+	if spec.Star {
+		return func(s *aggState, _ int) error { s.count++; return nil }
+	}
+	boxed := func(s *aggState, di int) error { return s.accumulate(spec, av.Value(di)) }
+	if av.Generic() {
+		return boxed
+	}
+	if spec.Distinct {
+		// Binary keys instead of the row engine's decimal GroupKey: the
+		// equivalence classes are identical and distinct sets built by the
+		// vectorized path are only ever merged with each other. First value
+		// of a class wins as its representative (the row engine keeps the
+		// last); observable only through the result kind of SUM/MIN/MAX
+		// DISTINCT over classes mixing int and float spellings.
+		var kbuf []byte
+		return func(s *aggState, di int) error {
+			if av.IsNull(di) {
+				return nil
+			}
+			kbuf = av.AppendBinKey(kbuf[:0], di)
+			if s.distinct == nil {
+				s.distinct = map[string]sqltypes.Value{}
+			}
+			if _, ok := s.distinct[string(kbuf)]; !ok {
+				s.distinct[string(kbuf)] = av.Value(di)
+			}
+			return nil
+		}
+	}
+	nulls := av.HasNulls()
+	switch spec.Op {
+	case "count":
+		return func(s *aggState, di int) error {
+			if nulls && av.IsNull(di) {
+				return nil
+			}
+			s.count++
+			return nil
+		}
+	case "sum":
+		switch av.Kind() {
+		case sqltypes.KindFloat:
+			fs := av.Floats
+			return func(s *aggState, di int) error {
+				if nulls && av.IsNull(di) {
+					return nil
+				}
+				f := fs[di]
+				if !s.sumSet {
+					s.sum, s.sumSet = sqltypes.NewFloat(f), true
+					return nil
+				}
+				if s.sum.Kind() == sqltypes.KindFloat {
+					s.sum = sqltypes.NewFloat(s.sum.Float() + f)
+					return nil
+				}
+				v, err := sqltypes.Add(s.sum, sqltypes.NewFloat(f))
+				if err != nil {
+					return err
+				}
+				s.sum = v
+				return nil
+			}
+		case sqltypes.KindInt:
+			xs := av.Ints
+			return func(s *aggState, di int) error {
+				if nulls && av.IsNull(di) {
+					return nil
+				}
+				x := xs[di]
+				if !s.sumSet {
+					s.sum, s.sumSet = sqltypes.NewInt(x), true
+					return nil
+				}
+				if s.sum.Kind() == sqltypes.KindInt {
+					s.sum = sqltypes.NewInt(s.sum.Int() + x)
+					return nil
+				}
+				v, err := sqltypes.Add(s.sum, sqltypes.NewInt(x))
+				if err != nil {
+					return err
+				}
+				s.sum = v
+				return nil
+			}
+		}
+	case "min", "max":
+		// Typed extrema: the strict-inequality updates match Compare's
+		// cmpInt/cmpFloat exactly (ties and NaN comparisons keep the current
+		// extremum). If the state holds a different kind — earlier chunks of
+		// another payload kind — fall through to the boxed comparison.
+		switch av.Kind() {
+		case sqltypes.KindInt:
+			xs := av.Ints
+			return func(s *aggState, di int) error {
+				if nulls && av.IsNull(di) {
+					return nil
+				}
+				x := xs[di]
+				if !s.extSet {
+					v := sqltypes.NewInt(x)
+					s.minV, s.maxV, s.extSet = v, v, true
+					return nil
+				}
+				if s.minV.Kind() == sqltypes.KindInt && s.maxV.Kind() == sqltypes.KindInt {
+					if x < s.minV.Int() {
+						s.minV = sqltypes.NewInt(x)
+					}
+					if x > s.maxV.Int() {
+						s.maxV = sqltypes.NewInt(x)
+					}
+					return nil
+				}
+				return s.accumulate(spec, sqltypes.NewInt(x))
+			}
+		case sqltypes.KindFloat:
+			fs := av.Floats
+			return func(s *aggState, di int) error {
+				if nulls && av.IsNull(di) {
+					return nil
+				}
+				f := fs[di]
+				if !s.extSet {
+					v := sqltypes.NewFloat(f)
+					s.minV, s.maxV, s.extSet = v, v, true
+					return nil
+				}
+				if s.minV.Kind() == sqltypes.KindFloat && s.maxV.Kind() == sqltypes.KindFloat {
+					if f < s.minV.Float() {
+						s.minV = sqltypes.NewFloat(f)
+					}
+					if f > s.maxV.Float() {
+						s.maxV = sqltypes.NewFloat(f)
+					}
+					return nil
+				}
+				return s.accumulate(spec, sqltypes.NewFloat(f))
+			}
+		}
+	}
+	return boxed
+}
+
+// starPlan is the resolved star-join GROUP BY shape: a fact base table scanned
+// in chunks, plus one hash table per dimension quantifier keyed by the
+// fact↔dim equality predicates. Dimension rows are fully evaluated at plan
+// time (they are small by assumption — the fact table drives the cost), so the
+// per-chunk work is probe + tuple expansion only.
+type starPlan struct {
+	dims []starDim
+
+	// groupSrc/argSrc give each grouping (resp. aggregate-argument)
+	// expression's source: -1 the fact quantifier, k the k-th dimension.
+	groupSrc []int
+	argSrc   []int
+
+	// Per-dim-row precomputed values for dim-sourced expressions, indexed by
+	// raw dimension row number (the indices stored in starDim.table).
+	dimGroupVals [][]sqltypes.Value
+	dimArgVals   [][]sqltypes.Value
+}
+
+// starDim is one dimension: fact-side key kernels (vectorized, evaluated per
+// chunk) and the hash table from binary-encoded key to matching dim row
+// numbers, in dim row order. Rows failing the dimension's local predicates or
+// carrying NULL keys are absent (NULL join keys never match, as in hashJoin).
+type starDim struct {
+	keyKs []vecKernel
+	table map[string][]int32
+}
+
+// starScratch is per-worker star expansion state.
+type starScratch struct {
+	sp    *starPlan
+	kv    [][]*sqltypes.Vec // per dim: fact key vectors for the current chunk
+	match [][]int32         // per dim: matched dim rows for the current fact row
+	ctr   []int             // odometer counters
+	fdi   []int32           // per output tuple: fact index (selection domain)
+	ddi   [][]int32         // per dim, per output tuple: dim row number
+	kbuf  []byte
+}
+
+func newStarScratch(sp *starPlan) *starScratch {
+	nd := len(sp.dims)
+	ss := &starScratch{
+		sp:    sp,
+		kv:    make([][]*sqltypes.Vec, nd),
+		match: make([][]int32, nd),
+		ctr:   make([]int, nd),
+		ddi:   make([][]int32, nd),
+	}
+	for k := range ss.kv {
+		ss.kv[k] = make([]*sqltypes.Vec, len(sp.dims[k].keyKs))
+	}
+	return ss
+}
+
+// expand joins the chunk's surviving fact rows against every dimension and
+// fills gvecs/avecs with tuple-domain vectors, returning the tuple count.
+// Tuple order matches the row path's join order: fact-row major, earlier
+// dimensions outer, the last dimension varying fastest.
+func (ss *starScratch) expand(cs *chunkState, groupKs, argKs []vecKernel, gvecs, avecs []*sqltypes.Vec) (int, error) {
+	sp := ss.sp
+	n := cs.n()
+	for k := range sp.dims {
+		for j, kk := range sp.dims[k].keyKs {
+			v, err := kk(cs)
+			if err != nil {
+				return 0, err
+			}
+			ss.kv[k][j] = v
+		}
+	}
+	ss.fdi = ss.fdi[:0]
+	for k := range ss.ddi {
+		ss.ddi[k] = ss.ddi[k][:0]
+	}
+	nd := len(sp.dims)
+	for di := 0; di < n; di++ {
+		matched := true
+		for k := 0; k < nd; k++ {
+			ss.kbuf = ss.kbuf[:0]
+			null := false
+			for _, v := range ss.kv[k] {
+				if v.IsNull(di) {
+					null = true
+					break
+				}
+				ss.kbuf = v.AppendBinKey(ss.kbuf, di)
+				ss.kbuf = append(ss.kbuf, 0)
+			}
+			if null {
+				matched = false
+				break
+			}
+			m := sp.dims[k].table[string(ss.kbuf)]
+			if len(m) == 0 {
+				matched = false
+				break
+			}
+			ss.match[k] = m
+		}
+		if !matched {
+			continue
+		}
+		for k := range ss.ctr {
+			ss.ctr[k] = 0
+		}
+		for {
+			ss.fdi = append(ss.fdi, int32(di))
+			for k := 0; k < nd; k++ {
+				ss.ddi[k] = append(ss.ddi[k], ss.match[k][ss.ctr[k]])
+			}
+			k := nd - 1
+			for ; k >= 0; k-- {
+				ss.ctr[k]++
+				if ss.ctr[k] < len(ss.match[k]) {
+					break
+				}
+				ss.ctr[k] = 0
+			}
+			if k < 0 {
+				break
+			}
+		}
+	}
+	nOut := len(ss.fdi)
+	if nOut == 0 {
+		return 0, nil
+	}
+	for pos, k := range groupKs {
+		if k != nil {
+			v, err := k(cs)
+			if err != nil {
+				return 0, err
+			}
+			gvecs[pos] = gatherVec(v, ss.fdi)
+		} else {
+			gvecs[pos] = dimValueVec(sp.dimGroupVals[pos], ss.ddi[sp.groupSrc[pos]])
+		}
+	}
+	for ai, k := range argKs {
+		switch {
+		case k != nil:
+			v, err := k(cs)
+			if err != nil {
+				return 0, err
+			}
+			avecs[ai] = gatherVec(v, ss.fdi)
+		case sp.argSrc[ai] >= 0:
+			avecs[ai] = dimValueVec(sp.dimArgVals[ai], ss.ddi[sp.argSrc[ai]])
+		}
+	}
+	return nOut, nil
+}
+
+// dimValueVec builds a tuple-domain vector from per-dim-row precomputed
+// values through the tuple's dim row numbers.
+func dimValueVec(vals []sqltypes.Value, idx []int32) *sqltypes.Vec {
+	var v sqltypes.Vec
+	for _, ri := range idx {
+		v.AppendValue(vals[ri])
+	}
+	return &v
+}

@@ -1,0 +1,861 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/qgm"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// This file is the vectorized expression layer (Config.Vectorize): instead of
+// evaluating expressions one binding at a time, supported box shapes scan the
+// storage layer's column-major chunks directly and run per-chunk kernels —
+// predicate filters narrow a selection vector, scalar kernels produce one
+// sqltypes.Vec per expression per chunk. Semantics are pinned to the row
+// engine: typed fast loops cover the common kinds and delegate every error
+// (and every odd-kind element) to the same sqltypes functions the row kernels
+// call, and any expression shape the vector compiler does not handle is
+// "lifted" — the chunk's rows are materialized one at a time into a scratch
+// binding and the existing compiled row kernel runs per element. A box whose
+// plan shape is unsupported (joins, non-base children) declines entirely and
+// the row path runs; declines and lifts are counted for observability.
+//
+// One intended divergence from the row path (documented in DESIGN.md §13):
+// within a chunk, predicates run predicate-major rather than row-major, so
+// when several rows would raise evaluation errors a different row's error may
+// surface first, and a row eliminated by an earlier conjunct never evaluates
+// later conjuncts (the row engine surfaces an error from a later conjunct
+// even when an earlier one was Unknown). The parity suites pin that on
+// error-free workloads results are identical, serially bit-for-bit.
+
+// Observability counters for the vectorized path.
+const (
+	CtrVecBoxes    = "exec.vector.boxes"    // boxes evaluated vectorized
+	CtrVecDeclined = "exec.vector.declined" // supported-kind boxes that fell back whole
+	CtrVecLifted   = "exec.vector.lifted"   // expressions evaluated via lifted row kernels
+)
+
+// Result evaluation modes reported by Result.Mode / EXPLAIN.
+const (
+	ModeVectorized  = "vectorized"
+	ModeCompiledRow = "compiled-row"
+	ModeInterpreted = "interpreted"
+)
+
+// chunkState is one worker's cursor over one storage chunk: the chunk, the
+// current selection (nil = all rows live), and scratch for lifted row
+// kernels. Kernels evaluate over the selection in dense order.
+type chunkState struct {
+	chunk   *storage.Chunk
+	sel     []int32 // live row indices, dense-ordered; nil = all of [0, chunk.N)
+	scratch []int32 // reusable selection buffer (filters compact in place)
+	row     []sqltypes.Value
+	bd      binding
+}
+
+func newChunkState(ncols int) *chunkState {
+	cs := &chunkState{
+		scratch: make([]int32, 0, storage.ChunkRows),
+		row:     make([]sqltypes.Value, ncols),
+	}
+	cs.bd = binding{cs.row}
+	return cs
+}
+
+func (cs *chunkState) reset(c *storage.Chunk) {
+	cs.chunk = c
+	cs.sel = nil
+}
+
+// n returns the live (selected) row count.
+func (cs *chunkState) n() int {
+	if cs.sel != nil {
+		return len(cs.sel)
+	}
+	return cs.chunk.N
+}
+
+// rowIdx maps a dense selection index to a chunk row index.
+func (cs *chunkState) rowIdx(di int) int {
+	if cs.sel != nil {
+		return int(cs.sel[di])
+	}
+	return di
+}
+
+// materialize fills the scratch binding with chunk row ri, for lifted row
+// kernels.
+func (cs *chunkState) materialize(ri int) {
+	cs.chunk.Row(ri, cs.row)
+}
+
+// vecKernel evaluates one scalar expression over a chunk's selection,
+// producing a vector of length chunkState.n() aligned with the selection.
+type vecKernel func(cs *chunkState) (*sqltypes.Vec, error)
+
+// vecFilter applies one predicate conjunct, narrowing the selection to rows
+// where it is True (SQL filter semantics: False and Unknown both drop).
+type vecFilter func(cs *chunkState) error
+
+// vecCompiler lowers expressions over a single base-table quantifier to
+// vector kernels. ectx carries the scalar-subquery values and the base
+// quantifier's slot 0, so lifted row kernels resolve references exactly as
+// the row path would.
+type vecCompiler struct {
+	ev      *evaluator
+	ectx    *exprCtx
+	baseQID int
+}
+
+// lift hands an expression to the compiled row kernel, evaluated per selected
+// row over a materialized scratch binding. Correct for every shape; counted.
+func (vc *vecCompiler) lift(e qgm.Expr) vecKernel {
+	rk := vc.ev.scalarKernel(vc.ectx, e)
+	vc.ev.obsv.Add(CtrVecLifted, 1)
+	return func(cs *chunkState) (*sqltypes.Vec, error) {
+		n := cs.n()
+		out := &sqltypes.Vec{}
+		for di := 0; di < n; di++ {
+			cs.materialize(cs.rowIdx(di))
+			v, err := rk(cs.bd)
+			if err != nil {
+				return nil, err
+			}
+			out.AppendValue(v)
+		}
+		return out, nil
+	}
+}
+
+// compileScalar lowers e to a vecKernel. Unsupported shapes lift; there is no
+// failure mode — by construction every expression evaluates with row-path
+// semantics.
+func (vc *vecCompiler) compileScalar(e qgm.Expr) vecKernel {
+	switch t := e.(type) {
+	case *qgm.ColRef:
+		if t.Q == nil {
+			return vc.lift(e)
+		}
+		if v, ok := vc.ectx.scalars[t.Q.ID]; ok {
+			return splatKernel(v)
+		}
+		if t.Q.ID != vc.baseQID {
+			return vc.lift(e) // out-of-scope reference: row path's exact error
+		}
+		col := t.Col
+		return func(cs *chunkState) (*sqltypes.Vec, error) {
+			if col >= len(cs.chunk.Cols) {
+				return nil, fmt.Errorf("exec: column %d out of range (row width %d)", col, len(cs.chunk.Cols))
+			}
+			src := &cs.chunk.Cols[col]
+			if cs.sel == nil {
+				return src, nil
+			}
+			return gatherVec(src, cs.sel), nil
+		}
+
+	case *qgm.Const:
+		return splatKernel(t.Val)
+
+	case *qgm.Call:
+		return vc.compileCall(t)
+
+	case *qgm.Bin:
+		switch t.Op {
+		case "||", "+", "-", "*", "/", "%":
+			l := vc.compileScalar(t.L)
+			r := vc.compileScalar(t.R)
+			op := t.Op
+			return func(cs *chunkState) (*sqltypes.Vec, error) {
+				lv, err := l(cs)
+				if err != nil {
+					return nil, err
+				}
+				rv, err := r(cs)
+				if err != nil {
+					return nil, err
+				}
+				return vecBinArith(op, lv, rv)
+			}
+		}
+		// Comparison/logical operators in scalar position are rare; lift.
+		return vc.lift(e)
+
+	default:
+		// CASE, NOT, IS NULL, LIKE, Agg (error), unknown nodes: lift.
+		return vc.lift(e)
+	}
+}
+
+// splatKernel broadcasts a constant to the selection length.
+func splatKernel(v sqltypes.Value) vecKernel {
+	return func(cs *chunkState) (*sqltypes.Vec, error) {
+		return splatVec(v, cs.n()), nil
+	}
+}
+
+func splatVec(v sqltypes.Value, n int) *sqltypes.Vec {
+	switch v.Kind() {
+	case sqltypes.KindInt, sqltypes.KindBool, sqltypes.KindDate:
+		ints := make([]int64, n)
+		x := v.Int()
+		for i := range ints {
+			ints[i] = x
+		}
+		out := sqltypes.NewIntsVec(v.Kind(), ints, nil)
+		return &out
+	case sqltypes.KindFloat:
+		fs := make([]float64, n)
+		x := v.Float()
+		for i := range fs {
+			fs[i] = x
+		}
+		out := sqltypes.NewFloatsVec(fs, nil)
+		return &out
+	case sqltypes.KindString:
+		ss := make([]string, n)
+		x := v.Str()
+		for i := range ss {
+			ss[i] = x
+		}
+		out := sqltypes.NewStringsVec(ss, nil)
+		return &out
+	default:
+		out := sqltypes.NewNullVec(n)
+		return &out
+	}
+}
+
+// gatherVec compacts src down to the selected rows.
+func gatherVec(src *sqltypes.Vec, sel []int32) *sqltypes.Vec {
+	n := len(sel)
+	if src.Generic() {
+		vals := make([]sqltypes.Value, n)
+		for i, ri := range sel {
+			vals[i] = src.Any[ri]
+		}
+		out := sqltypes.NewGenericVec(vals)
+		return &out
+	}
+	var nulls sqltypes.Bitmap
+	if src.HasNulls() {
+		for i, ri := range sel {
+			if src.IsNull(int(ri)) {
+				nulls.Set(i)
+			}
+		}
+	}
+	switch src.Kind() {
+	case sqltypes.KindInt, sqltypes.KindBool, sqltypes.KindDate:
+		ints := make([]int64, n)
+		for i, ri := range sel {
+			ints[i] = src.Ints[ri]
+		}
+		out := sqltypes.NewIntsVec(src.Kind(), ints, nulls)
+		return &out
+	case sqltypes.KindFloat:
+		fs := make([]float64, n)
+		for i, ri := range sel {
+			fs[i] = src.Floats[ri]
+		}
+		out := sqltypes.NewFloatsVec(fs, nulls)
+		return &out
+	case sqltypes.KindString:
+		ss := make([]string, n)
+		for i, ri := range sel {
+			ss[i] = src.Strs[ri]
+		}
+		out := sqltypes.NewStringsVec(ss, nulls)
+		return &out
+	default: // untyped: every element NULL
+		out := sqltypes.NewNullVec(n)
+		return &out
+	}
+}
+
+// intClass reports whether v is a typed vector backed by the Ints payload.
+func intClass(v *sqltypes.Vec) bool {
+	if v.Generic() {
+		return false
+	}
+	switch v.Kind() {
+	case sqltypes.KindInt, sqltypes.KindBool, sqltypes.KindDate:
+		return true
+	}
+	return false
+}
+
+// compileCall lowers year/month/day over an Ints-payload argument to an
+// integer loop (the date encoding is yyyymmdd); other kinds take the
+// per-element route through the same Value accessors as the row kernel, so
+// panics and NULL handling are identical. Unknown functions lift (the row
+// kernel carries the exact error).
+func (vc *vecCompiler) compileCall(t *qgm.Call) vecKernel {
+	var f func(int64) int64
+	switch t.Name {
+	case "year":
+		f = func(d int64) int64 { return d / 10000 }
+	case "month":
+		f = func(d int64) int64 { return (d / 100) % 100 }
+	case "day":
+		f = func(d int64) int64 { return d % 100 }
+	default:
+		return vc.lift(t)
+	}
+	name := t.Name
+	arg := vc.compileScalar(t.Args[0])
+	return func(cs *chunkState) (*sqltypes.Vec, error) {
+		av, err := arg(cs)
+		if err != nil {
+			return nil, err
+		}
+		n := av.Len()
+		if intClass(av) {
+			ints := make([]int64, n)
+			var nulls sqltypes.Bitmap
+			if av.HasNulls() {
+				for i := 0; i < n; i++ {
+					if av.IsNull(i) {
+						nulls.Set(i)
+					} else {
+						ints[i] = f(av.Ints[i])
+					}
+				}
+			} else {
+				for i, d := range av.Ints {
+					ints[i] = f(d)
+				}
+			}
+			out := sqltypes.NewIntsVec(sqltypes.KindInt, ints, nulls)
+			return &out, nil
+		}
+		if !av.Generic() && av.Kind() == sqltypes.KindNull {
+			return splatVec(sqltypes.Null, n), nil
+		}
+		// Odd argument kinds: reconstruct each Value and take the row path's
+		// exact accessors (DateYear et al. panic on non-integer kinds, same as
+		// the row kernel would).
+		out := &sqltypes.Vec{}
+		for i := 0; i < n; i++ {
+			v := av.Value(i)
+			if v.IsNull() {
+				out.AppendNull()
+				continue
+			}
+			switch name {
+			case "year":
+				out.AppendValue(sqltypes.NewInt(v.DateYear()))
+			case "month":
+				out.AppendValue(sqltypes.NewInt(v.DateMonth()))
+			case "day":
+				out.AppendValue(sqltypes.NewInt(v.DateDay()))
+			}
+		}
+		return out, nil
+	}
+}
+
+// binOpFn maps an arithmetic/concat operator to its sqltypes function — the
+// per-element delegate for slow paths and exact errors.
+func binOpFn(op string) func(a, b sqltypes.Value) (sqltypes.Value, error) {
+	switch op {
+	case "||":
+		return sqltypes.Concat
+	case "+":
+		return sqltypes.Add
+	case "-":
+		return sqltypes.Sub
+	case "*":
+		return sqltypes.Mul
+	case "/":
+		return sqltypes.Div
+	case "%":
+		return sqltypes.Mod
+	default:
+		return func(a, b sqltypes.Value) (sqltypes.Value, error) {
+			return sqltypes.Null, fmt.Errorf("exec: unknown operator %q", op)
+		}
+	}
+}
+
+func isInt(v *sqltypes.Vec) bool {
+	return !v.Generic() && v.Kind() == sqltypes.KindInt
+}
+
+func isNumericVec(v *sqltypes.Vec) bool {
+	return !v.Generic() && (v.Kind() == sqltypes.KindInt || v.Kind() == sqltypes.KindFloat)
+}
+
+func isAllNull(v *sqltypes.Vec) bool {
+	return !v.Generic() && v.Kind() == sqltypes.KindNull
+}
+
+// floatAt coerces an element of a numeric vector to float64 (caller has
+// checked non-NULL).
+func floatAt(v *sqltypes.Vec, i int) float64 {
+	if v.Kind() == sqltypes.KindFloat {
+		return v.Floats[i]
+	}
+	return float64(v.Ints[i])
+}
+
+// vecBinArith evaluates a binary arithmetic/concat operator element-wise.
+// Typed int/int, numeric/float and string/string pairs run dedicated loops;
+// every other pairing — and every error case — delegates per element to the
+// sqltypes function the row kernel uses, so results, NULL propagation and
+// error messages match the row path exactly.
+func vecBinArith(op string, a, b *sqltypes.Vec) (*sqltypes.Vec, error) {
+	n := a.Len()
+	fn := binOpFn(op)
+
+	// NULL in, NULL out holds for every operator here: an all-NULL side makes
+	// the whole result NULL.
+	if isAllNull(a) || isAllNull(b) {
+		return splatVec(sqltypes.Null, n), nil
+	}
+
+	anyNulls := a.HasNulls() || b.HasNulls() || a.Generic() || b.Generic()
+	nullAt := func(i int) bool { return anyNulls && (a.IsNull(i) || b.IsNull(i)) }
+
+	switch {
+	case (op == "+" || op == "-" || op == "*" || op == "/" || op == "%") && isInt(a) && isInt(b):
+		ints := make([]int64, n)
+		var nulls sqltypes.Bitmap
+		for i := 0; i < n; i++ {
+			if nullAt(i) {
+				nulls.Set(i)
+				continue
+			}
+			x, y := a.Ints[i], b.Ints[i]
+			switch op {
+			case "+":
+				ints[i] = x + y
+			case "-":
+				ints[i] = x - y
+			case "*":
+				ints[i] = x * y
+			case "/", "%":
+				if y == 0 {
+					_, err := fn(a.Value(i), b.Value(i))
+					return nil, err
+				}
+				if op == "/" {
+					ints[i] = x / y
+				} else {
+					ints[i] = x % y
+				}
+			}
+		}
+		out := sqltypes.NewIntsVec(sqltypes.KindInt, ints, nulls)
+		return &out, nil
+
+	case (op == "+" || op == "-" || op == "*" || op == "/") && isNumericVec(a) && isNumericVec(b):
+		// At least one side is float (both-int handled above): float result.
+		fs := make([]float64, n)
+		var nulls sqltypes.Bitmap
+		for i := 0; i < n; i++ {
+			if nullAt(i) {
+				nulls.Set(i)
+				continue
+			}
+			x, y := floatAt(a, i), floatAt(b, i)
+			switch op {
+			case "+":
+				fs[i] = x + y
+			case "-":
+				fs[i] = x - y
+			case "*":
+				fs[i] = x * y
+			case "/":
+				if y == 0 {
+					_, err := fn(a.Value(i), b.Value(i))
+					return nil, err
+				}
+				fs[i] = x / y
+			}
+		}
+		out := sqltypes.NewFloatsVec(fs, nulls)
+		return &out, nil
+
+	case op == "||" && !a.Generic() && !b.Generic() &&
+		a.Kind() == sqltypes.KindString && b.Kind() == sqltypes.KindString:
+		ss := make([]string, n)
+		var nulls sqltypes.Bitmap
+		for i := 0; i < n; i++ {
+			if nullAt(i) {
+				nulls.Set(i)
+				continue
+			}
+			ss[i] = a.Strs[i] + b.Strs[i]
+		}
+		out := sqltypes.NewStringsVec(ss, nulls)
+		return &out, nil
+	}
+
+	// Mixed or odd kinds: per-element delegation.
+	vals := make([]sqltypes.Value, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(a.Value(i), b.Value(i))
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	out := sqltypes.NewGenericVec(vals)
+	return &out, nil
+}
+
+// compileFilter lowers a predicate conjunct to a selection-narrowing filter.
+// ANDs split into sequential filters (keep-only-True composes); comparisons
+// get typed loops; everything else runs the compiled row predicate per
+// selected row.
+func (vc *vecCompiler) compileFilter(p qgm.Expr) vecFilter {
+	if bin, ok := p.(*qgm.Bin); ok {
+		switch bin.Op {
+		case "AND":
+			l := vc.compileFilter(bin.L)
+			r := vc.compileFilter(bin.R)
+			return func(cs *chunkState) error {
+				if err := l(cs); err != nil {
+					return err
+				}
+				if cs.n() == 0 {
+					return nil
+				}
+				return r(cs)
+			}
+		case "=", "<>", "<", "<=", ">", ">=":
+			return vc.compileCmpFilter(bin)
+		}
+	}
+	// Lifted predicate: OR, NOT, IS NULL, LIKE, scalar-in-pred, etc.
+	var pk predKernel
+	if vc.ev.interp {
+		ectx := vc.ectx
+		pk = func(bd binding) (sqltypes.Tri, error) { return ectx.evalPred(p, bd) }
+	} else {
+		var ok bool
+		pk, ok = vc.ectx.compilePred(p)
+		vc.ev.countCompile(ok)
+	}
+	vc.ev.obsv.Add(CtrVecLifted, 1)
+	return func(cs *chunkState) error {
+		n := cs.n()
+		out := cs.scratch[:0]
+		for di := 0; di < n; di++ {
+			ri := cs.rowIdx(di)
+			cs.materialize(ri)
+			tv, err := pk(cs.bd)
+			if err != nil {
+				return err
+			}
+			if tv == sqltypes.True {
+				out = append(out, int32(ri))
+			}
+		}
+		cs.sel = out
+		return nil
+	}
+}
+
+// compileCmpFilter lowers one comparison conjunct. The operand kernels run
+// over the current selection; the compare loop keeps rows where the
+// comparison is True (NULL operands are Unknown and drop). Kind dispatch
+// happens once per chunk — mixed pairings Compare handles (date/int, numeric
+// coercion) and pairings it rejects both delegate per element for the exact
+// result or error.
+func (vc *vecCompiler) compileCmpFilter(bin *qgm.Bin) vecFilter {
+	l := vc.compileScalar(bin.L)
+	r := vc.compileScalar(bin.R)
+	var keep func(c int) bool
+	switch bin.Op {
+	case "=":
+		keep = func(c int) bool { return c == 0 }
+	case "<>":
+		keep = func(c int) bool { return c != 0 }
+	case "<":
+		keep = func(c int) bool { return c < 0 }
+	case "<=":
+		keep = func(c int) bool { return c <= 0 }
+	case ">":
+		keep = func(c int) bool { return c > 0 }
+	case ">=":
+		keep = func(c int) bool { return c >= 0 }
+	}
+	return func(cs *chunkState) error {
+		lv, err := l(cs)
+		if err != nil {
+			return err
+		}
+		rv, err := r(cs)
+		if err != nil {
+			return err
+		}
+		n := cs.n()
+		out := cs.scratch[:0]
+
+		anyNulls := lv.HasNulls() || rv.HasNulls() || lv.Generic() || rv.Generic()
+		nullAt := func(i int) bool { return anyNulls && (lv.IsNull(i) || rv.IsNull(i)) }
+
+		switch {
+		case isAllNull(lv) || isAllNull(rv):
+			// Comparison with NULL is Unknown everywhere: empty selection.
+
+		case isInt(lv) && isInt(rv),
+			intClass(lv) && intClass(rv) && lv.Kind() == rv.Kind(),
+			intClass(lv) && intClass(rv) &&
+				(lv.Kind() == sqltypes.KindDate || lv.Kind() == sqltypes.KindInt) &&
+				(rv.Kind() == sqltypes.KindDate || rv.Kind() == sqltypes.KindInt):
+			// Int/int, same-kind int-class (date/date, bool/bool), and the
+			// date/int pairings Compare allows: payload compare.
+			for di := 0; di < n; di++ {
+				if nullAt(di) {
+					continue
+				}
+				if keep(cmpInt64(lv.Ints[di], rv.Ints[di])) {
+					out = append(out, int32(cs.rowIdx(di)))
+				}
+			}
+
+		case isNumericVec(lv) && isNumericVec(rv):
+			for di := 0; di < n; di++ {
+				if nullAt(di) {
+					continue
+				}
+				if keep(cmpF64(floatAt(lv, di), floatAt(rv, di))) {
+					out = append(out, int32(cs.rowIdx(di)))
+				}
+			}
+
+		case !lv.Generic() && !rv.Generic() &&
+			lv.Kind() == sqltypes.KindString && rv.Kind() == sqltypes.KindString:
+			for di := 0; di < n; di++ {
+				if nullAt(di) {
+					continue
+				}
+				x, y := lv.Strs[di], rv.Strs[di]
+				c := 0
+				if x < y {
+					c = -1
+				} else if x > y {
+					c = 1
+				}
+				if keep(c) {
+					out = append(out, int32(cs.rowIdx(di)))
+				}
+			}
+
+		default:
+			// Mixed/odd kinds: Compare per element for exact semantics.
+			for di := 0; di < n; di++ {
+				if nullAt(di) {
+					continue
+				}
+				c, err := sqltypes.Compare(lv.Value(di), rv.Value(di))
+				if err != nil {
+					return err
+				}
+				if keep(c) {
+					out = append(out, int32(cs.rowIdx(di)))
+				}
+			}
+		}
+		cs.sel = out
+		return nil
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// exprOverQuant reports whether e references only quantifier qid (scalar
+// subqueries count as constants) and contains no aggregate — the shape the
+// vector compiler evaluates with exact row-path error behavior. Anything else
+// declines the box so the row path raises its own errors.
+func exprOverQuant(e qgm.Expr, qid int, scalars map[int]sqltypes.Value) bool {
+	qs := sideQuants(e, scalars)
+	if qs == nil {
+		return false
+	}
+	for q := range qs {
+		if q != qid {
+			return false
+		}
+	}
+	return true
+}
+
+// scanChunks scans a base table in chunk form with the same budget charges,
+// counters and fault-site behavior as the row path's base-box scan.
+func (ev *evaluator) scanChunks(name string) ([]*storage.Chunk, int, error) {
+	chunks, n, err := ev.store.ScanChunks(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	ev.obsv.Add(CtrRowsScanned, int64(n))
+	if err := ev.checkpoint(n); err != nil {
+		return nil, 0, err
+	}
+	if err := ev.chg.flush(); err != nil {
+		return nil, 0, err
+	}
+	return chunks, n, nil
+}
+
+// evalSelectVec evaluates a SELECT box vectorized when its shape is a single
+// ForEach quantifier over a base table (plus any scalar subqueries): per
+// chunk, predicate filters narrow the selection and output kernels produce
+// column vectors, materialized to rows in selection order. Chunks partition
+// across workers in order, so output order matches the serial row path.
+// handled=false means the shape is unsupported and the caller must run the
+// row path.
+func (ev *evaluator) evalSelectVec(b *qgm.Box) ([][]sqltypes.Value, bool, error) {
+	var fe *qgm.Quantifier
+	for _, q := range b.Quantifiers {
+		if q.Kind == qgm.ForEach {
+			if fe != nil {
+				ev.obsv.Add(CtrVecDeclined, 1)
+				return nil, false, nil // joins: row path
+			}
+			fe = q
+		}
+	}
+	if fe == nil || fe.Box.Kind != qgm.BaseTableBox {
+		ev.obsv.Add(CtrVecDeclined, 1)
+		return nil, false, nil
+	}
+
+	// Scalar subqueries evaluate once, exactly as the row path does.
+	scalars := map[int]sqltypes.Value{}
+	for _, q := range b.Quantifiers {
+		if q.Kind != qgm.Scalar {
+			continue
+		}
+		rows, err := ev.evalBox(q.Box)
+		if err != nil {
+			return nil, true, err
+		}
+		switch len(rows) {
+		case 0:
+			scalars[q.ID] = sqltypes.Null
+		case 1:
+			scalars[q.ID] = rows[0][0]
+		default:
+			return nil, true, fmt.Errorf("exec: scalar subquery returned %d rows", len(rows))
+		}
+	}
+
+	// Predicates or outputs that reference anything beyond the base
+	// quantifier (or contain aggregates) carry row-path-specific errors:
+	// decline rather than approximate them.
+	for _, p := range b.Preds {
+		if !exprOverQuant(p, fe.ID, scalars) {
+			ev.obsv.Add(CtrVecDeclined, 1)
+			return nil, false, nil
+		}
+	}
+
+	ectx := &exprCtx{scalars: scalars}
+	ectx.setSlot(fe.ID, 0)
+	vc := &vecCompiler{ev: ev, ectx: ectx, baseQID: fe.ID}
+
+	filters := make([]vecFilter, len(b.Preds))
+	for i, p := range b.Preds {
+		filters[i] = vc.compileFilter(p)
+	}
+	colKs := make([]vecKernel, len(b.Cols))
+	for ci, c := range b.Cols {
+		colKs[ci] = vc.compileScalar(c.Expr)
+	}
+
+	chunks, total, err := ev.scanChunks(fe.Box.Table.Name)
+	if err != nil {
+		return nil, true, err
+	}
+	ncols := len(fe.Box.Cols)
+
+	workers := ev.workersFor(total)
+	parts := make([][][]sqltypes.Value, max(workers, 1))
+	err = ev.parallelChunks(len(chunks), workers, func(w, lo, hi int, chg *charger) error {
+		cs := newChunkState(ncols)
+		var out [][]sqltypes.Value
+		vecs := make([]*sqltypes.Vec, len(colKs))
+		for ci := lo; ci < hi; ci++ {
+			cs.reset(chunks[ci])
+			for _, f := range filters {
+				if err := f(cs); err != nil {
+					return err
+				}
+				if cs.n() == 0 {
+					break
+				}
+			}
+			n := cs.n()
+			if n == 0 {
+				continue
+			}
+			for i, k := range colKs {
+				v, err := k(cs)
+				if err != nil {
+					return err
+				}
+				vecs[i] = v
+			}
+			for di := 0; di < n; di++ {
+				if err := chg.checkpoint(1); err != nil {
+					return err
+				}
+				row := make([]sqltypes.Value, len(vecs))
+				for i, v := range vecs {
+					row[i] = v.Value(di)
+				}
+				out = append(out, row)
+			}
+		}
+		parts[w] = out
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+
+	var out [][]sqltypes.Value
+	if workers == 1 {
+		out = parts[0]
+	} else {
+		n := 0
+		for _, p := range parts {
+			n += len(p)
+		}
+		out = make([][]sqltypes.Value, 0, n)
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+	}
+	if b.Distinct {
+		out = dedupeRows(out)
+	}
+	ev.obsv.Add(CtrVecBoxes, 1)
+	ev.usedVector = true
+	return out, true, nil
+}

@@ -15,6 +15,7 @@ func All() []*Analyzer {
 		CtxFirst,
 		ObsNilGuard,
 		StorageLock,
+		StorageRows,
 	}
 }
 
@@ -239,7 +240,7 @@ var ObsNilGuard = &Analyzer{
 // lockedFields maps a storage receiver type to the field its mutex guards.
 var lockedFields = map[string]string{
 	"Store":     "tables",
-	"TableData": "Rows",
+	"TableData": "chunks",
 }
 
 // StorageLock requires storage methods that touch a mutex-guarded field of
@@ -298,6 +299,96 @@ var StorageLock = &Analyzer{
 					})
 				}
 			}
+		}
+		return out
+	},
+}
+
+// StorageRows forbids reaching into a TableData's row data from outside
+// internal/storage. The pre-columnar layout exported Rows as a documented
+// single-threaded escape hatch; with the chunked layout a raw row slice is a
+// derived cache, so direct access bypasses both the mutex and the row-view
+// invalidation. Callers go through Scan/Snapshot/ScanChunks. Without type
+// information the rule is syntactic: it flags `.Rows` on identifiers declared
+// as storage.TableData (parameters, results, struct fields, var specs) and on
+// direct chains through the Store methods returning *TableData (Table,
+// Create, Put).
+var StorageRows = &Analyzer{
+	Name: "storage-rows",
+	Doc:  "no direct TableData.Rows access outside internal/storage; use Scan/Snapshot/ScanChunks",
+	Run: func(p *Package) []Finding {
+		if p.Path == "repro/internal/storage" {
+			return nil
+		}
+		var out []Finding
+		for _, f := range p.Files {
+			if f.Test {
+				continue // tests may reach into fixtures they own
+			}
+			stName := ""
+			for _, imp := range f.AST.Imports {
+				if importPathOf(imp) == "repro/internal/storage" {
+					stName = importName(imp)
+				}
+			}
+			if stName == "" || stName == "_" {
+				continue
+			}
+			isTD := func(t ast.Expr) bool {
+				if star, ok := t.(*ast.StarExpr); ok {
+					t = star.X
+				}
+				sel, ok := t.(*ast.SelectorExpr)
+				if !ok {
+					return false
+				}
+				id, ok := sel.X.(*ast.Ident)
+				return ok && id.Name == stName && sel.Sel.Name == "TableData"
+			}
+			tdIdents := map[string]bool{}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch t := n.(type) {
+				case *ast.Field: // params, results, struct fields
+					if isTD(t.Type) {
+						for _, nm := range t.Names {
+							tdIdents[nm.Name] = true
+						}
+					}
+				case *ast.ValueSpec:
+					if t.Type != nil && isTD(t.Type) {
+						for _, nm := range t.Names {
+							tdIdents[nm.Name] = true
+						}
+					}
+				}
+				return true
+			})
+			flag := func(n ast.Node) {
+				out = append(out, Finding{
+					Pos:     p.Fset.Position(n.Pos()),
+					Message: "direct TableData.Rows access outside internal/storage; use Scan/Snapshot/ScanChunks",
+				})
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Rows" {
+					return true
+				}
+				switch x := sel.X.(type) {
+				case *ast.Ident:
+					if tdIdents[x.Name] {
+						flag(sel)
+					}
+				case *ast.CallExpr:
+					if ms, ok := x.Fun.(*ast.SelectorExpr); ok {
+						switch ms.Sel.Name {
+						case "Table", "Create", "Put":
+							flag(sel)
+						}
+					}
+				}
+				return true
+			})
 		}
 		return out
 	},

@@ -167,6 +167,50 @@ func (s *Store) Size() int {
 	}
 }
 
+func TestStorageRowsFlagsTypedIdent(t *testing.T) {
+	src := `package maintain
+import "repro/internal/storage"
+func rowCount(td *storage.TableData) int { return len(td.Rows) }
+`
+	fs := findings(t, lint.StorageRows, "repro/internal/maintain", "maintain/seed.go", src)
+	wantFinding(t, fs, "storage-rows", "TableData.Rows")
+}
+
+func TestStorageRowsFlagsStoreChain(t *testing.T) {
+	src := `package maintain
+import "repro/internal/storage"
+func rowCount(s *storage.Store) int { return len(s.Table("t").Rows) }
+`
+	fs := findings(t, lint.StorageRows, "repro/internal/maintain", "maintain/seed.go", src)
+	wantFinding(t, fs, "storage-rows", "TableData.Rows")
+}
+
+func TestStorageRowsIgnoresStorageTestsAndOtherRows(t *testing.T) {
+	// The storage package itself, test files, and unrelated Rows fields
+	// (e.g. exec.Result.Rows) all stay clean.
+	inStorage := `package storage
+type TableData struct{ Rows int }
+func (td *TableData) n() int { return td.Rows }
+`
+	if fs := findings(t, lint.StorageRows, "repro/internal/storage", "storage/ok.go", inStorage); len(fs) != 0 {
+		t.Fatalf("storage package flagged: %v", fs)
+	}
+	inTest := `package maintain
+import "repro/internal/storage"
+func rowCount(td *storage.TableData) int { return len(td.Rows) }
+`
+	if fs := findings(t, lint.StorageRows, "repro/internal/maintain", "maintain/x_test.go", inTest); len(fs) != 0 {
+		t.Fatalf("test file flagged: %v", fs)
+	}
+	otherRows := `package astdb
+import "repro/internal/storage"
+func use(s *storage.Store, r struct{ Rows [][]int }) int { _ = s; return len(r.Rows) }
+`
+	if fs := findings(t, lint.StorageRows, "repro/astdb", "astdb/ok.go", otherRows); len(fs) != 0 {
+		t.Fatalf("unrelated Rows field flagged: %v", fs)
+	}
+}
+
 // TestRepositoryIsClean is the dogfood gate: the full analyzer suite over the
 // whole module must report nothing. cmd/astlint enforces the same in CI; this
 // keeps `go test ./...` sufficient locally.

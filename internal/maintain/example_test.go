@@ -57,8 +57,9 @@ func Example() {
 		stats[0].DeltaRows, stats[0].Merged, stats[0].Added)
 
 	mat := store.MustTable("per_kind")
-	exec.SortRows(mat.Rows)
-	for _, r := range mat.Rows {
+	matRows := append([][]sqltypes.Value(nil), mat.Rows()...)
+	exec.SortRows(matRows)
+	for _, r := range matRows {
 		fmt.Printf("%s cnt=%s total=%s\n", r[0], r[1], r[2])
 	}
 	// Output:

@@ -1,0 +1,331 @@
+package sqltypes
+
+import (
+	"math"
+	"strconv"
+)
+
+// This file adds the columnar value representation used by the chunked
+// storage layer and the vectorized executor: a Vec holds one column of up to
+// a storage chunk's worth of values in a typed payload slice (int64 for
+// INTEGER/BOOLEAN/DATE, float64 for DOUBLE, string for VARCHAR) plus a packed
+// null bitmap. A column whose values mix payload kinds degrades to a generic
+// []Value payload, so every value a row store can hold is representable; the
+// typed form is the fast path, not a constraint.
+//
+// Concurrency contract (relied on by storage snapshots): a Vec is append-only.
+// Appends never overwrite payload elements below the current length, so a
+// value copy of the Vec header (with its slice lengths) freezes a consistent
+// prefix — except the null bitmap, whose packed words are shared across rows;
+// Frozen() clones it. Degrading to the generic payload builds a fresh slice
+// rather than mutating the typed one, so frozen headers keep reading their
+// original payload.
+
+// Bitmap is a packed bitset, one bit per row index.
+type Bitmap []uint64
+
+// NewBitmap returns a bitmap with capacity for n bits, all clear.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Get reports whether bit i is set. Indexes beyond the bitmap read as clear.
+func (b Bitmap) Get(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i, growing the bitmap as needed.
+func (b *Bitmap) Set(i int) {
+	w := i >> 6
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) & 63)
+}
+
+// Clone returns an independent copy of the bitmap.
+func (b Bitmap) Clone() Bitmap {
+	if b == nil {
+		return nil
+	}
+	return append(Bitmap(nil), b...)
+}
+
+// Vec is one column vector: n values of a single kind (plus NULLs), or a
+// generic []Value payload when the column mixes kinds. The zero Vec is an
+// empty, untyped vector.
+type Vec struct {
+	kind    Kind // payload kind; KindNull until the first non-null append
+	generic bool // payload lives in Any (mixed kinds)
+	n       int
+
+	// Payload slices; exactly one is active. Ints backs KindInt, KindBool
+	// and KindDate (the date encoding is the int64 yyyymmdd payload).
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Any    []Value
+
+	// Nulls marks NULL rows. Inactive (nil) when no NULL has been appended.
+	Nulls    Bitmap
+	hasNulls bool
+}
+
+// NewIntsVec wraps an int64 payload as a vector of the given integer-class
+// kind (KindInt, KindBool or KindDate). nulls may be nil.
+func NewIntsVec(kind Kind, ints []int64, nulls Bitmap) Vec {
+	return Vec{kind: kind, n: len(ints), Ints: ints, Nulls: nulls, hasNulls: nulls != nil}
+}
+
+// NewFloatsVec wraps a float64 payload as a KindFloat vector. nulls may be nil.
+func NewFloatsVec(floats []float64, nulls Bitmap) Vec {
+	return Vec{kind: KindFloat, n: len(floats), Floats: floats, Nulls: nulls, hasNulls: nulls != nil}
+}
+
+// NewStringsVec wraps a string payload as a KindString vector. nulls may be nil.
+func NewStringsVec(strs []string, nulls Bitmap) Vec {
+	return Vec{kind: KindString, n: len(strs), Strs: strs, Nulls: nulls, hasNulls: nulls != nil}
+}
+
+// NewGenericVec wraps arbitrary values as a generic vector; NULL elements are
+// represented by NULL Values in the slice.
+func NewGenericVec(vals []Value) Vec {
+	return Vec{generic: true, n: len(vals), Any: vals}
+}
+
+// NewNullVec returns a vector of n NULLs.
+func NewNullVec(n int) Vec {
+	v := Vec{}
+	for i := 0; i < n; i++ {
+		v.AppendNull()
+	}
+	return v
+}
+
+// Len returns the number of values.
+func (v *Vec) Len() int { return v.n }
+
+// Kind returns the payload kind; KindNull for an untyped (all-NULL or empty)
+// vector. Meaningless when Generic() is true.
+func (v *Vec) Kind() Kind { return v.kind }
+
+// Generic reports whether the payload is the generic []Value form.
+func (v *Vec) Generic() bool { return v.generic }
+
+// HasNulls reports whether any NULL has been appended. For generic vectors
+// the per-element Values are authoritative; this is a fast pre-check only.
+func (v *Vec) HasNulls() bool { return v.hasNulls }
+
+// IsNull reports whether element i is NULL.
+func (v *Vec) IsNull(i int) bool {
+	if v.generic {
+		return v.Any[i].IsNull()
+	}
+	return v.hasNulls && v.Nulls.Get(i)
+}
+
+// Value reconstructs element i as a Value, NULLs included. The result is
+// identical (kind and payload) to the Value originally appended.
+func (v *Vec) Value(i int) Value {
+	if v.generic {
+		return v.Any[i]
+	}
+	if v.hasNulls && v.Nulls.Get(i) {
+		return Null
+	}
+	switch v.kind {
+	case KindInt:
+		return Value{kind: KindInt, i: v.Ints[i]}
+	case KindBool:
+		return Value{kind: KindBool, i: v.Ints[i]}
+	case KindDate:
+		return Value{kind: KindDate, i: v.Ints[i]}
+	case KindFloat:
+		return Value{kind: KindFloat, f: v.Floats[i]}
+	case KindString:
+		return Value{kind: KindString, s: v.Strs[i]}
+	default: // untyped: every element is NULL
+		return Null
+	}
+}
+
+// AppendNull appends a NULL, keeping the active payload aligned.
+func (v *Vec) AppendNull() {
+	v.Nulls.Set(v.n)
+	v.hasNulls = true
+	switch {
+	case v.generic:
+		v.Any = append(v.Any, Null)
+	case v.kind == KindFloat:
+		v.Floats = append(v.Floats, 0)
+	case v.kind == KindString:
+		v.Strs = append(v.Strs, "")
+	case v.kind != KindNull:
+		v.Ints = append(v.Ints, 0)
+	}
+	// Untyped vectors carry no payload; length is tracked by n alone and the
+	// payload is zero-filled if a typed value arrives later.
+	v.n++
+}
+
+// AppendValue appends x. The first non-null value fixes the vector's kind;
+// appending a different kind later degrades the vector to the generic payload
+// (a fresh slice — concurrent frozen readers keep their typed view).
+func (v *Vec) AppendValue(x Value) {
+	if x.kind == KindNull {
+		v.AppendNull()
+		return
+	}
+	if v.generic {
+		v.Any = append(v.Any, x)
+		v.n++
+		return
+	}
+	if v.kind == KindNull {
+		// Adopt the kind; backfill zero payload for any leading NULLs.
+		v.kind = x.kind
+		switch x.kind {
+		case KindFloat:
+			v.Floats = make([]float64, v.n, cap64(v.n))
+		case KindString:
+			v.Strs = make([]string, v.n, cap64(v.n))
+		default:
+			v.Ints = make([]int64, v.n, cap64(v.n))
+		}
+	}
+	if x.kind != v.kind {
+		v.degrade()
+		v.Any = append(v.Any, x)
+		v.n++
+		return
+	}
+	switch v.kind {
+	case KindFloat:
+		v.Floats = append(v.Floats, x.f)
+	case KindString:
+		v.Strs = append(v.Strs, x.s)
+	default:
+		v.Ints = append(v.Ints, x.i)
+	}
+	v.n++
+}
+
+func cap64(n int) int {
+	if n < 64 {
+		return 64
+	}
+	return n
+}
+
+// degrade converts the payload to the generic form in a fresh slice.
+func (v *Vec) degrade() {
+	anyv := make([]Value, v.n, v.n+64)
+	for i := 0; i < v.n; i++ {
+		anyv[i] = v.Value(i)
+	}
+	v.generic = true
+	v.Any = anyv
+	v.Ints, v.Floats, v.Strs = nil, nil, nil
+}
+
+// Frozen returns a header copy safe to read concurrently with further
+// appends to v: slice lengths pin the current prefix, and the null bitmap —
+// whose packed words would otherwise be shared with rows appended later — is
+// cloned.
+func (v *Vec) Frozen() Vec {
+	f := *v
+	f.Nulls = v.Nulls.Clone()
+	return f
+}
+
+// AppendBinKey appends element i's binary grouping key to buf. The encoding
+// is an internal fast alternative to AppendGroupKey with the same equivalence
+// classes (same kind tags; integral floats below 1e15 collapse onto the
+// integer tag, so 1 and 1.0 still share a group) but fixed-width binary
+// payloads instead of decimal rendering. Keys from the two encodings are not
+// interchangeable — a single grouping operation must use one or the other.
+func (v *Vec) AppendBinKey(buf []byte, i int) []byte {
+	if v.generic {
+		return AppendBinKeyValue(buf, v.Any[i])
+	}
+	if v.hasNulls && v.Nulls.Get(i) {
+		return append(buf, '\x00', 'N')
+	}
+	switch v.kind {
+	case KindInt:
+		return appendBE64(append(buf, '\x01'), uint64(v.Ints[i]))
+	case KindFloat:
+		return appendBinFloat(buf, v.Floats[i])
+	case KindString:
+		return append(append(buf, '\x03'), v.Strs[i]...)
+	case KindBool:
+		return append(append(buf, '\x04'), byte(v.Ints[i]))
+	case KindDate:
+		return appendBE64(append(buf, '\x05'), uint64(v.Ints[i]))
+	default:
+		return append(buf, '\x00', 'N') // untyped: all NULL
+	}
+}
+
+// AppendBinKeyValue is AppendBinKey for a boxed Value (generic payloads and
+// splatted constants).
+func AppendBinKeyValue(buf []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(buf, '\x00', 'N')
+	case KindInt:
+		return appendBE64(append(buf, '\x01'), uint64(v.i))
+	case KindFloat:
+		return appendBinFloat(buf, v.f)
+	case KindString:
+		return append(append(buf, '\x03'), v.s...)
+	case KindBool:
+		return append(append(buf, '\x04'), byte(v.i))
+	case KindDate:
+		return appendBE64(append(buf, '\x05'), uint64(v.i))
+	default:
+		return append(buf, '\x7f', '?')
+	}
+}
+
+func appendBinFloat(buf []byte, f float64) []byte {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return appendBE64(append(buf, '\x01'), uint64(int64(f)))
+	}
+	return appendBE64(append(buf, '\x02'), math.Float64bits(f))
+}
+
+func appendBE64(buf []byte, x uint64) []byte {
+	return append(buf,
+		byte(x>>56), byte(x>>48), byte(x>>40), byte(x>>32),
+		byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+}
+
+// AppendGroupKey appends element i's grouping key to buf, byte-identical to
+// Value.AppendGroupKey on the reconstructed Value (the vectorized GROUP BY
+// must land in exactly the groups the row engine builds).
+func (v *Vec) AppendGroupKey(buf []byte, i int) []byte {
+	if v.generic {
+		return v.Any[i].AppendGroupKey(buf)
+	}
+	if v.hasNulls && v.Nulls.Get(i) {
+		return append(buf, '\x00', 'N')
+	}
+	switch v.kind {
+	case KindInt:
+		return strconv.AppendInt(append(buf, '\x01'), v.Ints[i], 10)
+	case KindFloat:
+		f := v.Floats[i]
+		if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+			return strconv.AppendInt(append(buf, '\x01'), int64(f), 10)
+		}
+		return strconv.AppendFloat(append(buf, '\x02'), f, 'b', -1, 64)
+	case KindString:
+		return append(append(buf, '\x03'), v.Strs[i]...)
+	case KindBool:
+		return strconv.AppendInt(append(buf, '\x04'), v.Ints[i], 10)
+	case KindDate:
+		return strconv.AppendInt(append(buf, '\x05'), v.Ints[i], 10)
+	default:
+		return append(buf, '\x00', 'N') // untyped: all NULL
+	}
+}

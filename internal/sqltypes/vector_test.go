@@ -1,0 +1,139 @@
+package sqltypes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(rng.Int63n(2000) - 1000)
+	case 2:
+		return NewFloat(rng.NormFloat64() * 100)
+	case 3:
+		return NewString(string(rune('a' + rng.Intn(26))))
+	case 4:
+		return NewBool(rng.Intn(2) == 0)
+	default:
+		return NewDate(1990+rng.Intn(10), 1+rng.Intn(12), 1+rng.Intn(28))
+	}
+}
+
+// TestVecRoundTrip pins the core Vec contract: appended values come back
+// identical (kind and payload), and per-element group keys are byte-identical
+// to Value.AppendGroupKey — including across kind-degradations to the generic
+// payload.
+func TestVecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var v Vec
+		vals := make([]Value, 0, 50)
+		n := rng.Intn(50)
+		homogeneous := rng.Intn(2) == 0
+		var pick func() Value
+		if homogeneous {
+			proto := randValue(rng)
+			pick = func() Value {
+				if rng.Intn(5) == 0 {
+					return Null
+				}
+				switch proto.Kind() {
+				case KindInt:
+					return NewInt(rng.Int63n(100))
+				case KindFloat:
+					return NewFloat(rng.Float64())
+				case KindString:
+					return NewString(string(rune('a' + rng.Intn(26))))
+				case KindBool:
+					return NewBool(rng.Intn(2) == 0)
+				case KindDate:
+					return NewDate(1991, 1+rng.Intn(12), 1+rng.Intn(28))
+				default:
+					return Null
+				}
+			}
+		} else {
+			pick = func() Value { return randValue(rng) }
+		}
+		for i := 0; i < n; i++ {
+			x := pick()
+			vals = append(vals, x)
+			v.AppendValue(x)
+		}
+		if v.Len() != len(vals) {
+			t.Fatalf("trial %d: Len %d, want %d", trial, v.Len(), len(vals))
+		}
+		for i, want := range vals {
+			got := v.Value(i)
+			if got.Kind() != want.Kind() || got.String() != want.String() {
+				t.Fatalf("trial %d: Value(%d) = %v (%s), want %v (%s)",
+					trial, i, got, got.Kind(), want, want.Kind())
+			}
+			if got.IsNull() != v.IsNull(i) {
+				t.Fatalf("trial %d: IsNull(%d) mismatch", trial, i)
+			}
+			if gk, wk := v.AppendGroupKey(nil, i), want.AppendGroupKey(nil); !bytes.Equal(gk, wk) {
+				t.Fatalf("trial %d: group key of %v: %q vs %q", trial, want, gk, wk)
+			}
+		}
+	}
+}
+
+// TestVecFrozenIsolation pins the snapshot contract: a Frozen header keeps
+// reading its prefix — values and null bits — unchanged while the live vector
+// takes further appends, including a kind-degradation.
+func TestVecFrozenIsolation(t *testing.T) {
+	var v Vec
+	v.AppendValue(NewInt(1))
+	v.AppendNull()
+	v.AppendValue(NewInt(3))
+	f := v.Frozen()
+
+	// Appends past the frozen length, including one that degrades the live
+	// payload to generic, must not change what the frozen header reads.
+	v.AppendNull()
+	v.AppendValue(NewString("x"))
+	v.AppendValue(NewInt(9))
+
+	if f.Len() != 3 {
+		t.Fatalf("frozen Len = %d, want 3", f.Len())
+	}
+	want := []Value{NewInt(1), Null, NewInt(3)}
+	for i, w := range want {
+		if got := f.Value(i); got.Kind() != w.Kind() || got.String() != w.String() {
+			t.Fatalf("frozen Value(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if f.IsNull(0) || !f.IsNull(1) || f.IsNull(2) {
+		t.Fatalf("frozen null bits drifted: %v %v %v", f.IsNull(0), f.IsNull(1), f.IsNull(2))
+	}
+	// And the live vector sees everything, post-degradation.
+	if v.Len() != 6 || !v.Generic() {
+		t.Fatalf("live vec: len %d generic %v", v.Len(), v.Generic())
+	}
+	if got := v.Value(4); got.Kind() != KindString || got.Str() != "x" {
+		t.Fatalf("live Value(4) = %v", got)
+	}
+}
+
+// TestVecLeadingNulls pins the backfill path: NULLs appended before the first
+// typed value must stay NULL once the payload is allocated.
+func TestVecLeadingNulls(t *testing.T) {
+	var v Vec
+	v.AppendNull()
+	v.AppendNull()
+	v.AppendValue(NewFloat(2.5))
+	if !v.IsNull(0) || !v.IsNull(1) || v.IsNull(2) {
+		t.Fatalf("null bits wrong after backfill")
+	}
+	if got := v.Value(2); got.Float() != 2.5 {
+		t.Fatalf("Value(2) = %v", got)
+	}
+	if v.Kind() != KindFloat {
+		t.Fatalf("kind = %v", v.Kind())
+	}
+}

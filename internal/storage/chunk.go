@@ -1,0 +1,89 @@
+package storage
+
+import "repro/internal/sqltypes"
+
+// ChunkRows is the fixed row capacity of one storage chunk. 1024 rows keeps a
+// chunk's typed column payloads (8 KiB per int64/float64 column) L1/L2
+// resident while amortizing per-chunk dispatch in the vectorized executor.
+const ChunkRows = 1024
+
+// Chunk is one column-major batch of table rows: per-column typed vectors of
+// up to ChunkRows values each. Chunks returned by SnapshotChunks are frozen —
+// N and the vector headers pin a consistent prefix that later appends never
+// touch — and must be treated as read-only.
+type Chunk struct {
+	// N is the row count (all Cols have length N).
+	N int
+	// Cols holds one vector per table column.
+	Cols []sqltypes.Vec
+}
+
+// newChunk returns an empty chunk with ncols column vectors.
+func newChunk(ncols int) *Chunk {
+	return &Chunk{Cols: make([]sqltypes.Vec, ncols)}
+}
+
+// appendRow appends one row to the chunk, NULL-padding short rows and
+// dropping values beyond the schema width (Insert arity-checks; bulk loads
+// are trusted to match their catalog schema).
+func (c *Chunk) appendRow(row []sqltypes.Value) {
+	for i := range c.Cols {
+		if i < len(row) {
+			c.Cols[i].AppendValue(row[i])
+		} else {
+			c.Cols[i].AppendNull()
+		}
+	}
+	c.N++
+}
+
+// Row materializes row i of the chunk into dst (which must have length
+// len(Cols)).
+func (c *Chunk) Row(i int, dst []sqltypes.Value) {
+	for j := range c.Cols {
+		dst[j] = c.Cols[j].Value(i)
+	}
+}
+
+// frozen returns a read-only view of the chunk: sealed (full) chunks are
+// immutable and shared directly; a partially filled tail chunk is header-
+// copied with cloned null bitmaps, because appends to the tail write typed
+// payload elements only past the frozen length but set null bits in packed
+// words shared with frozen rows.
+func (c *Chunk) frozen() *Chunk {
+	if c.N == ChunkRows {
+		return c
+	}
+	f := &Chunk{N: c.N, Cols: make([]sqltypes.Vec, len(c.Cols))}
+	for i := range c.Cols {
+		f.Cols[i] = c.Cols[i].Frozen()
+	}
+	return f
+}
+
+// buildChunks converts row-major data to chunks.
+func buildChunks(ncols int, rows [][]sqltypes.Value) []*Chunk {
+	chunks := make([]*Chunk, 0, (len(rows)+ChunkRows-1)/ChunkRows)
+	var cur *Chunk
+	for _, r := range rows {
+		if cur == nil || cur.N == ChunkRows {
+			cur = newChunk(ncols)
+			chunks = append(chunks, cur)
+		}
+		cur.appendRow(r)
+	}
+	return chunks
+}
+
+// materializeRows converts chunks back to row-major data.
+func materializeRows(n int, chunks []*Chunk) [][]sqltypes.Value {
+	rows := make([][]sqltypes.Value, 0, n)
+	for _, c := range chunks {
+		for i := 0; i < c.N; i++ {
+			row := make([]sqltypes.Value, len(c.Cols))
+			c.Row(i, row)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

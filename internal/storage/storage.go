@@ -1,13 +1,27 @@
-// Package storage provides an in-memory row store: named tables with
-// catalog-described schemas and bulk loading. It is the execution substrate —
-// the paper ran inside DB2; we run the same QGM graphs over this store.
+// Package storage provides an in-memory column store: named tables with
+// catalog-described schemas, bulk loading, and chunked column-major data. It
+// is the execution substrate — the paper ran inside DB2; we run the same QGM
+// graphs over this store.
 //
-// Concurrency: the store supports concurrent readers (Scan, Table, TableRows)
-// alongside maintenance writers (Insert, Put, Drop). Scan returns a snapshot
-// slice header — appends after the scan never reach it, and Put swaps the
-// whole table so in-flight readers keep their old version. Direct access to
-// TableData.Rows remains available for single-threaded loading and tests; it
-// must not be mixed with concurrent use of the same table.
+// Layout: each table's rows live in fixed-capacity column-major chunks
+// (ChunkRows rows each; per-column typed vectors with null bitmaps — see
+// Chunk). The vectorized executor scans chunks directly via ScanChunks; the
+// row engine and maintenance layer read through the row-view adapter
+// (Scan/Snapshot), a lazily materialized [][]Value cache that is kept warm
+// across appends.
+//
+// Concurrency: the store supports concurrent readers (Scan, ScanChunks,
+// Table, TableRows) alongside maintenance writers (Insert, Put, Drop).
+// Snapshots are stable: Scan returns a row-slice header and SnapshotChunks
+// returns frozen chunk headers — appends after the call never reach either —
+// and Put swaps the whole table so in-flight readers keep their old version.
+// The legacy TableData.Rows field is gone; tests and single-threaded loaders
+// use the Rows() adapter, and an astlint analyzer keeps non-test code off it.
+//
+// Key invariant: the table map is keyed by the ASCII-lowercased table name,
+// normalized once when a writer registers the table (Create/Put/Overlay/
+// Drop). Lookups fold their argument without allocating (hot path: every
+// query scan and every maintenance overlay resolves names).
 package storage
 
 import (
@@ -20,14 +34,25 @@ import (
 	"repro/internal/sqltypes"
 )
 
-// TableData is the stored rows of one table.
+// TableData is the stored data of one table: column-major chunks, plus a
+// lazily built row-view cache serving the row-at-a-time engine.
 type TableData struct {
 	Meta *catalog.Table
 
-	mu sync.RWMutex
-	// Rows may be read/written directly in single-threaded code; concurrent
-	// paths go through Insert/Snapshot, which guard it with mu.
-	Rows [][]sqltypes.Value
+	mu     sync.RWMutex
+	chunks []*Chunk // canonical column-major data
+	n      int      // total row count
+
+	// rows is the row-view adapter cache: materialized once on demand,
+	// then kept warm by Insert appending to it. Snapshot hands out the
+	// slice header; appends write past every outstanding header's length.
+	rows   [][]sqltypes.Value
+	rowsOK bool
+
+	// snap caches the frozen chunk view handed to SnapshotChunks; valid
+	// while snapN == n (appends invalidate it).
+	snap  []*Chunk
+	snapN int
 }
 
 // Store maps table names to their data. All methods are safe for concurrent
@@ -42,9 +67,23 @@ func NewStore() *Store {
 	return &Store{tables: make(map[string]*TableData)}
 }
 
+// newTableData builds a table from row-major data, seeding the row-view
+// cache with the given slice (callers hand ownership over, as they did when
+// rows were the primary representation).
+func newTableData(meta *catalog.Table, rows [][]sqltypes.Value) *TableData {
+	td := &TableData{Meta: meta, snapN: -1}
+	if len(rows) > 0 {
+		td.chunks = buildChunks(len(meta.Columns), rows)
+		td.n = len(rows)
+		td.rows = rows
+		td.rowsOK = true
+	}
+	return td
+}
+
 // Create registers an empty table with the given schema.
 func (s *Store) Create(meta *catalog.Table) *TableData {
-	td := &TableData{Meta: meta}
+	td := newTableData(meta, nil)
 	s.mu.Lock()
 	s.tables[strings.ToLower(meta.Name)] = td
 	s.mu.Unlock()
@@ -54,7 +93,7 @@ func (s *Store) Create(meta *catalog.Table) *TableData {
 // Put replaces (or creates) a table's data wholesale. Readers that already
 // scanned the table keep their previous snapshot.
 func (s *Store) Put(meta *catalog.Table, rows [][]sqltypes.Value) *TableData {
-	td := &TableData{Meta: meta, Rows: rows}
+	td := newTableData(meta, rows)
 	s.mu.Lock()
 	s.tables[strings.ToLower(meta.Name)] = td
 	s.mu.Unlock()
@@ -71,8 +110,45 @@ func (s *Store) Drop(name string) {
 // Table returns a table's data by name.
 func (s *Store) Table(name string) (*TableData, bool) {
 	s.mu.RLock()
-	td, ok := s.tables[strings.ToLower(name)]
+	td, ok := lookupFold(s.tables, name)
 	s.mu.RUnlock()
+	return td, ok
+}
+
+// lookupFold resolves a possibly mixed-case name against the lowercase-keyed
+// table map without allocating on the already-lowercase fast path (the
+// compiler elides the []byte→string conversion in a map index expression).
+func lookupFold(m map[string]*TableData, name string) (*TableData, bool) {
+	hasUpper := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 0x80 {
+			// Non-ASCII: defer to full Unicode folding.
+			td, ok := m[strings.ToLower(name)]
+			return td, ok
+		}
+		if 'A' <= c && c <= 'Z' {
+			hasUpper = true
+		}
+	}
+	if !hasUpper {
+		td, ok := m[name]
+		return td, ok
+	}
+	if len(name) <= 128 {
+		var arr [128]byte
+		b := arr[:len(name)]
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			b[i] = c
+		}
+		td, ok := m[string(b)]
+		return td, ok
+	}
+	td, ok := m[strings.ToLower(name)]
 	return td, ok
 }
 
@@ -96,7 +172,7 @@ func (s *Store) Overlay(name string, meta *catalog.Table, rows [][]sqltypes.Valu
 		out.tables[n] = td
 	}
 	s.mu.RUnlock()
-	out.tables[strings.ToLower(name)] = &TableData{Meta: meta, Rows: rows}
+	out.tables[strings.ToLower(name)] = newTableData(meta, rows)
 	return out
 }
 
@@ -115,13 +191,70 @@ func (s *Store) Scan(name string) ([][]sqltypes.Value, error) {
 	return td.Snapshot(), nil
 }
 
+// ScanChunks returns a frozen column-major snapshot of a table plus its row
+// count, for the vectorized executor. It hits the same fault site as Scan —
+// chaos coverage does not depend on which executor path runs.
+func (s *Store) ScanChunks(name string) ([]*Chunk, int, error) {
+	td, ok := s.Table(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("storage: table %q not loaded", strings.ToLower(name))
+	}
+	if err := faultinject.Hit("storage.scan:" + td.Meta.Name); err != nil {
+		return nil, 0, fmt.Errorf("storage: scanning %q: %w", td.Meta.Name, err)
+	}
+	chunks, n := td.SnapshotChunks()
+	return chunks, n, nil
+}
+
 // Snapshot returns the current rows as a stable slice header: rows appended
-// after the call are not visible through it.
+// after the call are not visible through it. The first call after a bulk
+// chunk load materializes the row view; it stays warm across Inserts.
 func (t *TableData) Snapshot() [][]sqltypes.Value {
 	t.mu.RLock()
-	rows := t.Rows
+	if t.rowsOK {
+		rows := t.rows
+		t.mu.RUnlock()
+		return rows
+	}
 	t.mu.RUnlock()
-	return rows
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.rowsOK {
+		t.rows = materializeRows(t.n, t.chunks)
+		t.rowsOK = true
+	}
+	return t.rows
+}
+
+// Rows is the row-view adapter for single-threaded loaders and tests; it is
+// Snapshot under a name that mirrors the retired direct-access field. Mixed
+// concurrent use follows Snapshot's rules; mutating the returned rows is not
+// allowed (copy and Put instead).
+func (t *TableData) Rows() [][]sqltypes.Value { return t.Snapshot() }
+
+// SnapshotChunks returns the frozen chunk view and the row count it covers.
+// Sealed chunks are shared; the tail chunk is header-copied with cloned null
+// bitmaps (see Chunk.frozen). The view is cached until the next append.
+func (t *TableData) SnapshotChunks() ([]*Chunk, int) {
+	t.mu.RLock()
+	if t.snapN == t.n {
+		chunks, n := t.snap, t.snapN
+		t.mu.RUnlock()
+		return chunks, n
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.snapN != t.n {
+		snap := make([]*Chunk, len(t.chunks))
+		for i, c := range t.chunks {
+			snap[i] = c.frozen()
+		}
+		t.snap, t.snapN = snap, t.n
+	}
+	return t.snap, t.snapN
 }
 
 // Insert appends one row after arity-checking it.
@@ -130,7 +263,16 @@ func (t *TableData) Insert(row []sqltypes.Value) error {
 		return fmt.Errorf("storage: row arity %d != %d for table %s", len(row), len(t.Meta.Columns), t.Meta.Name)
 	}
 	t.mu.Lock()
-	t.Rows = append(t.Rows, row)
+	last := len(t.chunks) - 1
+	if last < 0 || t.chunks[last].N == ChunkRows {
+		t.chunks = append(t.chunks, newChunk(len(t.Meta.Columns)))
+		last++
+	}
+	t.chunks[last].appendRow(row)
+	t.n++
+	if t.rowsOK {
+		t.rows = append(t.rows, row)
+	}
 	t.mu.Unlock()
 	return nil
 }
@@ -145,7 +287,7 @@ func (t *TableData) MustInsert(row ...sqltypes.Value) {
 // Cardinality returns the row count.
 func (t *TableData) Cardinality() int {
 	t.mu.RLock()
-	n := len(t.Rows)
+	n := t.n
 	t.mu.RUnlock()
 	return n
 }
