@@ -60,12 +60,6 @@ const (
 	VecOff  = exec.VecOff
 )
 
-// Typed execution errors surfaced by Query/QueryGraph; test with errors.Is.
-var (
-	ErrBudgetExceeded = exec.ErrBudgetExceeded
-	ErrCanceled       = exec.ErrCanceled
-)
-
 // SortRows orders result rows deterministically (for display and diffing).
 func SortRows(rows [][]sqltypes.Value) { exec.SortRows(rows) }
 
@@ -294,7 +288,7 @@ func (e *Engine) Query(ctx context.Context, sql string) (*Answer, error) {
 	}
 	cr, err := e.rw.RewriteSQLCached(ctx, e.cache, sql, e.ASTs(), e.store)
 	if err != nil {
-		return nil, err
+		return nil, compileError(err)
 	}
 	r, err := e.runPlan(ctx, cr.Plan)
 	if err == nil {
@@ -359,7 +353,11 @@ func (e *Engine) Rewrite(ctx context.Context, sql string, only ...string) (*Rewr
 	defer span.End()
 	ctx = obs.ContextWithSpan(ctx, span)
 	if e.cache != nil && len(only) == 0 {
-		return e.rw.RewriteSQLCached(ctx, e.cache, sql, e.ASTs(), e.store)
+		cr, err := e.rw.RewriteSQLCached(ctx, e.cache, sql, e.ASTs(), e.store)
+		if err != nil {
+			return nil, compileError(err)
+		}
+		return cr, nil
 	}
 	g, err := e.parse(span, sql)
 	if err != nil {
@@ -379,7 +377,8 @@ func (e *Engine) Execute(ctx context.Context, g *qgm.Graph) (*exec.Result, error
 	return e.runPlan(ctx, g)
 }
 
-// parse builds a graph from SQL under a "parse" child span. With
+// parse builds a graph from SQL under a "parse" child span, classifying
+// failures under the typed error surface (ErrParse / ErrUnknownTable). With
 // WithVerifyPlans, the built graph is additionally run through the static
 // checker: a violation here means the builder produced an unsound graph, and
 // surfaces as an error rather than silently planning over it.
@@ -387,12 +386,15 @@ func (e *Engine) parse(span obs.Span, sql string) (*qgm.Graph, error) {
 	p := span.Child("parse")
 	g, err := qgm.BuildSQL(sql, e.cat)
 	p.End()
-	if err == nil && e.verifyPlans {
+	if err != nil {
+		return nil, compileError(err)
+	}
+	if e.verifyPlans {
 		if verr := qgmcheck.AsError(qgmcheck.Check(g)); verr != nil {
 			return nil, fmt.Errorf("astdb: built graph failed verification: %w", verr)
 		}
 	}
-	return g, err
+	return g, nil
 }
 
 // selectASTs returns the compiled ASTs restricted to the given names (all
@@ -479,7 +481,7 @@ func (e *Engine) Insert(ctx context.Context, table string, rows [][]sqltypes.Val
 	defer span.End()
 	meta, found := e.cat.Table(table)
 	if !found {
-		return nil, fmt.Errorf("astdb: table %q not found", table)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, table)
 	}
 	// Reject malformed rows before any incremental merge sees them: a base
 	// insert aborting halfway leaves every affected AST ahead of the base

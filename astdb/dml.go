@@ -8,6 +8,7 @@ import (
 	"repro/internal/maintain"
 	"repro/internal/parser"
 	"repro/internal/qgm"
+	"repro/internal/sqltypes"
 )
 
 // DMLResult reports one executed DELETE or UPDATE: the target table, how many
@@ -57,34 +58,125 @@ func (e *Engine) Update(ctx context.Context, sql string) (*DMLResult, error) {
 func (e *Engine) compileDML(sql string, kind qgm.DMLKind) (*qgm.DML, error) {
 	stmt, err := parser.ParseStatement(sql)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	var table string
 	switch t := stmt.(type) {
 	case *parser.DeleteStmt:
 		if kind != qgm.DMLDelete {
-			return nil, fmt.Errorf("astdb: expected an UPDATE statement, got DELETE")
+			return nil, fmt.Errorf("%w: expected an UPDATE statement, got DELETE", ErrParse)
 		}
 		table = t.Table
 	case *parser.UpdateStmt:
 		if kind != qgm.DMLUpdate {
-			return nil, fmt.Errorf("astdb: expected a DELETE statement, got UPDATE")
+			return nil, fmt.Errorf("%w: expected a DELETE statement, got UPDATE", ErrParse)
 		}
 		table = t.Table
 	default:
-		return nil, fmt.Errorf("astdb: expected a %v statement", kind)
+		return nil, fmt.Errorf("%w: expected a %v statement", ErrParse, kind)
 	}
-	for _, def := range e.cat.ASTs() {
-		if strings.EqualFold(def.Name, table) {
-			return nil, fmt.Errorf("astdb: %q is a summary table; its contents are system-maintained", table)
-		}
+	if err := e.rejectSummaryTarget(table); err != nil {
+		return nil, err
 	}
+	var dml *qgm.DML
 	switch t := stmt.(type) {
 	case *parser.DeleteStmt:
-		return qgm.BuildDelete(t, e.cat)
+		dml, err = qgm.BuildDelete(t, e.cat)
 	default:
-		return qgm.BuildUpdate(t.(*parser.UpdateStmt), e.cat)
+		dml, err = qgm.BuildUpdate(t.(*parser.UpdateStmt), e.cat)
 	}
+	if err != nil {
+		return nil, compileError(err)
+	}
+	return dml, nil
+}
+
+// rejectSummaryTarget returns ErrWriteProtected when table names a registered
+// summary table: materializations are system-maintained.
+func (e *Engine) rejectSummaryTarget(table string) error {
+	for _, def := range e.cat.ASTs() {
+		if strings.EqualFold(def.Name, table) {
+			return fmt.Errorf("%w: %q is system-maintained", ErrWriteProtected, table)
+		}
+	}
+	return nil
+}
+
+// ExecStatement executes one DML statement given as SQL text — INSERT ...
+// VALUES, DELETE, or UPDATE — and reports the affected-row count plus the
+// per-AST maintenance outcomes. It is the single statement entry point the
+// wire server's exec message and the driver's ExecContext map to; SELECTs
+// belong to Query and DDL to CreateTable/CreateSummaryTable.
+func (e *Engine) ExecStatement(ctx context.Context, sql string) (*DMLResult, error) {
+	stmt, err := parser.ParseStatement(sql)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
+	}
+	switch s := stmt.(type) {
+	case *parser.InsertStmt:
+		return e.insertStmt(ctx, s)
+	case *parser.DeleteStmt:
+		return e.Delete(ctx, sql)
+	case *parser.UpdateStmt:
+		return e.Update(ctx, sql)
+	default:
+		return nil, fmt.Errorf("%w: expected INSERT, DELETE, or UPDATE, got %s", ErrParse, statementKind(stmt))
+	}
+}
+
+// statementKind names a parsed statement for error messages.
+func statementKind(stmt parser.Statement) string {
+	switch stmt.(type) {
+	case *parser.SelectStmt:
+		return "SELECT"
+	case *parser.CreateTableStmt:
+		return "CREATE TABLE"
+	case *parser.CreateASTStmt:
+		return "CREATE SUMMARY TABLE"
+	case *parser.ExplainStmt:
+		return "EXPLAIN"
+	default:
+		return fmt.Sprintf("%T", stmt)
+	}
+}
+
+// insertStmt executes a parsed INSERT ... VALUES statement: literal rows only,
+// with ISO date strings coerced into DATE-typed columns (the same contract the
+// astrw shell applies). Summary tables are write-protected here exactly like
+// DELETE/UPDATE targets.
+func (e *Engine) insertStmt(ctx context.Context, s *parser.InsertStmt) (*DMLResult, error) {
+	if err := e.rejectSummaryTarget(s.Table); err != nil {
+		return nil, err
+	}
+	meta, ok := e.cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, s.Table)
+	}
+	rows := make([][]sqltypes.Value, 0, len(s.Rows))
+	for _, row := range s.Rows {
+		vals := make([]sqltypes.Value, len(row))
+		for i, expr := range row {
+			lit, ok := expr.(*parser.Lit)
+			if !ok {
+				return nil, fmt.Errorf("%w: INSERT values must be literals, got %s", ErrParse, expr.SQL())
+			}
+			vals[i] = lit.Val
+			if i < len(meta.Columns) && meta.Columns[i].Type == sqltypes.KindDate &&
+				lit.Val.Kind() == sqltypes.KindString {
+				d, err := sqltypes.ParseDate(lit.Val.Str())
+				if err != nil {
+					return nil, fmt.Errorf("%w: %w", ErrParse, err)
+				}
+				vals[i] = d
+			}
+		}
+		rows = append(rows, vals)
+	}
+	stats, err := e.Insert(ctx, s.Table, rows)
+	if err != nil && stats == nil {
+		return nil, err
+	}
+	return &DMLResult{Table: meta.Name, Affected: len(rows), Stats: stats}, err
 }
 
 // MaintenanceRoute is one summary table's entry in a maintenance-routing

@@ -1,0 +1,128 @@
+// Package driver is a database/sql driver for the astdb wire protocol, so
+// the standard library's pooling, retry, and scanning conventions work
+// against a running astserve:
+//
+//	db, err := sql.Open("astdb", "127.0.0.1:5433")
+//	rows, err := db.QueryContext(ctx, "select flid, sum(qty) from trans group by flid")
+//
+// The DSN is "host:port", optionally prefixed "astdb://" and optionally
+// carrying "?dial_timeout=5s".
+//
+// Contract notes, in database/sql terms:
+//
+//   - One driver.Conn is one wire session. The protocol is strict
+//     request/response, so a Conn serves one statement at a time — which is
+//     exactly the access pattern database/sql guarantees per Conn.
+//   - Placeholders are ordinal "?" only, interpolated client-side into SQL
+//     literals before the query crosses the wire (the engine has no prepared
+//     statement machinery to bind against). Named parameters are rejected by
+//     CheckNamedValue.
+//   - Context cancellation mid-query closes the connection. That is the only
+//     cancel signal the protocol has, and it is precisely the database/sql
+//     convention: the pool discards the dead Conn and later calls get a
+//     fresh one.
+//   - Server errors cross the wire as typed codes; the returned errors
+//     answer errors.Is against the astdb sentinels (astdb.ErrParse,
+//     astdb.ErrBudgetExceeded, ...) exactly as the in-process engine does.
+//   - There are no transactions: the engine applies each statement
+//     atomically under its own locking, and Begin returns an error.
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func init() {
+	sql.Register("astdb", &Driver{})
+}
+
+// Driver implements driver.Driver and driver.DriverContext.
+type Driver struct{}
+
+// Open dials dsn immediately (sql.Open normally defers to the Connector).
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return c.Connect(context.Background())
+}
+
+// OpenConnector parses dsn into a dialing Connector.
+func (d *Driver) OpenConnector(dsn string) (driver.Connector, error) {
+	cfg, err := ParseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &Connector{cfg: cfg}, nil
+}
+
+// Config is a parsed DSN.
+type Config struct {
+	Addr        string        // host:port
+	DialTimeout time.Duration // default 10s
+}
+
+// ParseDSN parses "host:port", "astdb://host:port", or either with
+// "?dial_timeout=<duration>" appended.
+func ParseDSN(dsn string) (Config, error) {
+	cfg := Config{DialTimeout: 10 * time.Second}
+	s := strings.TrimPrefix(dsn, "astdb://")
+	if q := strings.IndexByte(s, '?'); q >= 0 {
+		for _, kv := range strings.Split(s[q+1:], "&") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return cfg, fmt.Errorf("astdb driver: malformed DSN option %q", kv)
+			}
+			switch k {
+			case "dial_timeout":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return cfg, fmt.Errorf("astdb driver: bad dial_timeout %q: %w", v, err)
+				}
+				cfg.DialTimeout = d
+			default:
+				return cfg, fmt.Errorf("astdb driver: unknown DSN option %q", k)
+			}
+		}
+		s = s[:q]
+	}
+	_, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return cfg, fmt.Errorf("astdb driver: DSN %q is not host:port: %w", dsn, err)
+	}
+	if _, err := strconv.Atoi(port); err != nil {
+		return cfg, fmt.Errorf("astdb driver: DSN %q has non-numeric port %q", dsn, port)
+	}
+	cfg.Addr = s
+	return cfg, nil
+}
+
+// Connector implements driver.Connector; sql.OpenDB(connector) and
+// sql.Open("astdb", dsn) both land here.
+type Connector struct {
+	cfg Config
+}
+
+// Connect dials one wire session.
+func (c *Connector) Connect(ctx context.Context) (driver.Conn, error) {
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if tcp, ok := nc.(*net.TCPConn); ok {
+		tcp.SetNoDelay(true) // request/response protocol: don't batch small frames
+	}
+	return &Conn{nc: nc}, nil
+}
+
+// Driver returns the shared Driver.
+func (c *Connector) Driver() driver.Driver { return &Driver{} }

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	// Register the "astdb" database/sql driver: the load harness measures the
+	// full client path — interpolation, wire framing, session pooling — not
+	// the in-process facade.
+	_ "repro/astdb/driver"
+)
+
+// LoadSpec describes one load-generation leg against a running wire server.
+type LoadSpec struct {
+	// Addr is the server's host:port (a DSN without options).
+	Addr string
+	// Sessions is the number of concurrent client sessions; the pool is
+	// pinned to exactly this many connections.
+	Sessions int
+	// TotalQueries is the leg's total query count, spread evenly across
+	// sessions (a remainder goes to the first workers).
+	TotalQueries int
+	// Queries is the statement mix; each worker cycles through it starting
+	// at its own offset so every leg exercises the full mix.
+	Queries []string
+	// Warmup queries (cycling through the mix) run on one session before
+	// timing starts — they pay the one-time costs (dial, plan-cache fill)
+	// that a steady-state throughput number should not include.
+	Warmup int
+}
+
+// LoadResult is one measured leg.
+type LoadResult struct {
+	Sessions int
+	// Queries that completed successfully and were timed.
+	Queries int
+	// Errors is the count of failed queries (they are not timed).
+	Errors int
+	// FirstErr samples one failure for diagnostics.
+	FirstErr error
+	// Elapsed is wall-clock time for the timed portion of the leg.
+	Elapsed time.Duration
+	// QPS is successful queries per wall-clock second.
+	QPS float64
+	// P50 and P99 are exact percentiles over per-query client-side
+	// latencies (dial amortized away by warmup and pooling).
+	P50, P99 time.Duration
+}
+
+// RunLoad drives one leg: Sessions workers over a pinned connection pool,
+// each issuing its share of TotalQueries round-robin through the mix.
+func RunLoad(ctx context.Context, spec LoadSpec) (*LoadResult, error) {
+	if spec.Sessions <= 0 || spec.TotalQueries <= 0 || len(spec.Queries) == 0 {
+		return nil, fmt.Errorf("bench: underspecified load leg %+v", spec)
+	}
+	db, err := sql.Open("astdb", spec.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(spec.Sessions)
+	db.SetMaxIdleConns(spec.Sessions)
+	db.SetConnMaxLifetime(0)
+
+	for i := 0; i < spec.Warmup; i++ {
+		if err := drainOne(ctx, db, spec.Queries[i%len(spec.Queries)]); err != nil {
+			return nil, fmt.Errorf("bench: warmup query %d: %w", i, err)
+		}
+	}
+
+	type worker struct {
+		lat  []time.Duration
+		errs int
+		err  error
+	}
+	workers := make([]worker, spec.Sessions)
+	per := spec.TotalQueries / spec.Sessions
+	extra := spec.TotalQueries % spec.Sessions
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := range workers {
+		n := per
+		if w < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			me := &workers[w]
+			me.lat = make([]time.Duration, 0, n)
+			for i := 0; i < n; i++ {
+				q := spec.Queries[(w+i)%len(spec.Queries)]
+				began := time.Now()
+				if err := drainOne(ctx, db, q); err != nil {
+					me.errs++
+					if me.err == nil {
+						me.err = err
+					}
+					continue
+				}
+				me.lat = append(me.lat, time.Since(began))
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{Sessions: spec.Sessions, Elapsed: elapsed}
+	var all []time.Duration
+	for i := range workers {
+		all = append(all, workers[i].lat...)
+		res.Errors += workers[i].errs
+		if res.FirstErr == nil {
+			res.FirstErr = workers[i].err
+		}
+	}
+	res.Queries = len(all)
+	if elapsed > 0 {
+		res.QPS = float64(res.Queries) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50 = percentile(all, 0.50)
+	res.P99 = percentile(all, 0.99)
+	return res, nil
+}
+
+// drainOne executes one query and iterates its full result (a client that
+// doesn't read the rows hasn't measured the query).
+func drainOne(ctx context.Context, db *sql.DB, q string) error {
+	rows, err := db.QueryContext(ctx, q)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		return err
+	}
+	vals := make([]any, len(cols))
+	ptrs := make([]any, len(cols))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			return err
+		}
+	}
+	return rows.Err()
+}
+
+// percentile takes an exact rank from sorted samples (nearest-rank method).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// LoadReport is the machine-readable concurrency benchmark (BENCH_4.json):
+// throughput and tail latency of the wire server at 1/8/64/512 sessions for
+// each statement mix. GOMAXPROCS is recorded for the same reason as in the
+// earlier BENCH files — on a single-core host the sweep measures admission
+// and queueing behavior (p99 growth), not parallel speedup.
+type LoadReport struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Scale      int       `json:"scale"`
+	Legs       []LoadLeg `json:"legs"`
+}
+
+// LoadLeg is one (mix, sessions) measurement.
+type LoadLeg struct {
+	// Mix names the server configuration the leg ran against:
+	// "original" (no summary tables, plan cache off), "rewritten" (summary
+	// tables, plan cache off — every query pays matching), "cached"
+	// (summary tables + plan cache).
+	Mix      string  `json:"mix"`
+	Sessions int     `json:"sessions"`
+	Queries  int     `json:"queries"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+}
+
+// Leg converts a measured result into its report row.
+func (r *LoadResult) Leg(mix string) LoadLeg {
+	return LoadLeg{
+		Mix:      mix,
+		Sessions: r.Sessions,
+		Queries:  r.Queries,
+		Errors:   r.Errors,
+		QPS:      r.QPS,
+		P50Us:    float64(r.P50) / float64(time.Microsecond),
+		P99Us:    float64(r.P99) / float64(time.Microsecond),
+	}
+}

@@ -12,7 +12,7 @@
 // canonicalized supergroup (paper §5: a cube query is the union of its
 // cuboids, NULL-padding the grouped-out columns).
 //
-// Row loops fan out across Limits.Parallelism workers (default GOMAXPROCS):
+// Row loops fan out across Config.Parallelism workers (default GOMAXPROCS):
 // the driving quantifier's scan+filter, per-binding predicate filters, output
 // expression evaluation, and partitioned aggregation all partition their
 // input into contiguous chunks whose results are concatenated in chunk order,

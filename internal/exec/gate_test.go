@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateNilAndUnlimitedAdmitEverything(t *testing.T) {
+	for _, g := range []*Gate{nil, {}, NewGate(0, 10)} {
+		release, err := g.Enter(context.Background())
+		if err != nil {
+			t.Fatalf("unlimited gate rejected: %v", err)
+		}
+		release()
+	}
+}
+
+func TestGateRejectsPastQueueDepth(t *testing.T) {
+	g := NewGate(1, 1)
+	ctx := context.Background()
+
+	rel1, err := g.Enter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second enter queues; run it in a goroutine.
+	entered := make(chan func(), 1)
+	go func() {
+		rel, err := g.Enter(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		entered <- rel
+	}()
+	// Wait until the queued request holds its token.
+	for g.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Third enter: slot busy, queue full → typed rejection.
+	if _, err := g.Enter(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	rel1()
+	rel2 := <-entered
+	rel2()
+	if g.Running() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: running=%d waiting=%d", g.Running(), g.Waiting())
+	}
+}
+
+func TestGateEnterHonorsContext(t *testing.T) {
+	g := NewGate(1, 4)
+	rel, err := g.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for g.Waiting() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	if _, err := g.Enter(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestGateReleaseIdempotent(t *testing.T) {
+	g := NewGate(2, 0)
+	rel, err := g.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not free a second slot
+	if got := g.Running(); got != 0 {
+		t.Fatalf("running = %d after release", got)
+	}
+	// Both slots must still be usable exactly twice.
+	r1, err1 := g.Enter(context.Background())
+	r2, err2 := g.Enter(context.Background())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("enter after release: %v %v", err1, err2)
+	}
+	if _, err := g.Enter(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third enter on 2-slot no-queue gate: want ErrOverloaded, got %v", err)
+	}
+	r1()
+	r2()
+}
+
+// TestGateConcurrentNeverExceedsCap hammers the gate from many goroutines and
+// asserts the running gauge never exceeds the slot cap (race detector covers
+// the memory discipline).
+func TestGateConcurrentNeverExceedsCap(t *testing.T) {
+	const cap, workers = 4, 64
+	g := NewGate(cap, workers)
+	var wg sync.WaitGroup
+	var maxSeen atomic64Max
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Enter(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			maxSeen.observe(g.Running())
+			time.Sleep(time.Millisecond)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.load(); got > cap {
+		t.Fatalf("observed %d running, cap %d", got, cap)
+	}
+}
+
+type atomic64Max struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (m *atomic64Max) observe(v int64) {
+	m.mu.Lock()
+	if v > m.v {
+		m.v = v
+	}
+	m.mu.Unlock()
+}
+
+func (m *atomic64Max) load() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.v
+}

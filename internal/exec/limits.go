@@ -54,18 +54,12 @@ const (
 	VecOff
 )
 
-// Limits is the historical name of Config; existing call sites keep
-// compiling.
-//
-// Deprecated: use Config.
-type Limits = Config
-
 // ErrBudgetExceeded is returned (wrapped) when a run materializes more than
-// Limits.MaxRows rows.
+// Config.MaxRows rows.
 var ErrBudgetExceeded = errors.New("exec: row budget exceeded")
 
 // ErrCanceled is returned (wrapped) when the run's context is canceled or
-// its deadline — including Limits.Timeout — expires.
+// its deadline — including Config.Timeout — expires.
 var ErrCanceled = errors.New("exec: canceled")
 
 // pollEvery gates context polling in hot loops: a charger checks ctx.Done()
@@ -80,7 +74,7 @@ const chargeBatch = 64
 
 // runBudget is the shared, concurrency-safe resource budget of one run:
 // every worker of every parallel operator charges the same atomic counter,
-// so Limits.MaxRows bounds the run as a whole, not per goroutine.
+// so Config.MaxRows bounds the run as a whole, not per goroutine.
 type runBudget struct {
 	ctx     context.Context
 	maxRows int64 // 0 = unlimited

@@ -27,7 +27,7 @@ func TestRunCtxNoLimitsMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := e.RunCtx(context.Background(), g, Limits{})
+	got, err := e.RunCtx(context.Background(), g, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,12 +40,12 @@ func TestMaxRowsBudget(t *testing.T) {
 	// A cross join of trans with itself materializes n^2 bindings; a tiny
 	// budget must trip long before that.
 	e, g := buildTestGraph(t, "select a.tid as t1 from trans a, trans b")
-	_, err := e.RunCtx(context.Background(), g, Limits{MaxRows: 500})
+	_, err := e.RunCtx(context.Background(), g, Config{MaxRows: 500})
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("want ErrBudgetExceeded, got %v", err)
 	}
 	// A generous budget succeeds.
-	if _, err := e.RunCtx(context.Background(), g, Limits{MaxRows: 1 << 20}); err != nil {
+	if _, err := e.RunCtx(context.Background(), g, Config{MaxRows: 1 << 20}); err != nil {
 		t.Fatalf("generous budget failed: %v", err)
 	}
 }
@@ -54,7 +54,7 @@ func TestCanceledContext(t *testing.T) {
 	e, g := buildTestGraph(t, "select flid, count(*) as c from trans group by flid")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := e.RunCtx(ctx, g, Limits{})
+	_, err := e.RunCtx(ctx, g, Config{})
 	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
 	}
@@ -66,7 +66,7 @@ func TestTimeoutWithSlowScan(t *testing.T) {
 	faultinject.Set("storage.scan:trans", faultinject.Fault{Delay: 100 * time.Millisecond})
 
 	e, g := buildTestGraph(t, "select tid from trans")
-	_, err := e.RunCtx(context.Background(), g, Limits{Timeout: 10 * time.Millisecond})
+	_, err := e.RunCtx(context.Background(), g, Config{Timeout: 10 * time.Millisecond})
 	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("want ErrCanceled from timeout, got %v", err)
 	}

@@ -33,13 +33,13 @@ func (ev *evaluator) workersFor(n int) int {
 // parallelChunks partitions [0, n) into `workers` contiguous, in-order chunks
 // and runs fn for each on its own goroutine. Each worker gets a private
 // charger against the shared run budget (flushed when the worker finishes its
-// partition, which also polls the context), so Limits.MaxRows and
+// partition, which also polls the context), so Config.MaxRows and
 // cancellation hold run-wide. A panic inside a worker is recovered and
 // surfaced as a single error; when several workers fail, the lowest-numbered
 // partition's error wins, deterministically.
 //
 // With workers <= 1 fn runs inline on the caller's goroutine — the serial
-// path, reachable via Limits{Parallelism: 1}.
+// path, reachable via Config{Parallelism: 1}.
 func (ev *evaluator) parallelChunks(n, workers int, fn func(w, lo, hi int, chg *charger) error) error {
 	if workers <= 1 {
 		chg := &charger{b: ev.bud}

@@ -83,17 +83,19 @@ var Determinism = &Analyzer{
 	},
 }
 
-// DeprecatedAPI forbids new callers of retired surfaces: the
-// internal/resilient package (folded into the astdb facade) and the
-// exec.Limits alias (renamed Config).
+// DeprecatedAPI forbids reintroducing retired surfaces. Both are deleted —
+// internal/resilient (folded into the astdb facade) and the exec.Limits
+// alias (renamed Config) — so the analyzer now guards against resurrection:
+// importing the dead package path, referencing exec.Limits from outside, or
+// re-declaring a top-level Limits inside internal/exec itself.
 var DeprecatedAPI = &Analyzer{
 	Name: "deprecated-api",
-	Doc:  "no new callers of internal/resilient or the exec.Limits alias",
+	Doc:  "internal/resilient and exec.Limits are deleted; do not reintroduce them",
 	Run: func(p *Package) []Finding {
-		if p.Path == "repro/internal/resilient" {
-			return nil // the deprecated package itself
-		}
 		var out []Finding
+		if p.Path == "repro/internal/exec" {
+			out = append(out, limitsRedeclared(p)...)
+		}
 		for _, f := range p.Files {
 			execName := ""
 			for _, imp := range f.AST.Imports {
@@ -101,7 +103,7 @@ var DeprecatedAPI = &Analyzer{
 				case "repro/internal/resilient":
 					out = append(out, Finding{
 						Pos:     p.Fset.Position(imp.Pos()),
-						Message: "internal/resilient is deprecated; use the astdb facade (astdb.Open/Wrap, Engine.Query)",
+						Message: "internal/resilient is deleted; use the astdb facade (astdb.Open/Wrap, Engine.Query)",
 					})
 				case "repro/internal/exec":
 					execName = importName(imp)
@@ -118,7 +120,7 @@ var DeprecatedAPI = &Analyzer{
 				if id, ok := sel.X.(*ast.Ident); ok && id.Name == execName && sel.Sel.Name == "Limits" {
 					out = append(out, Finding{
 						Pos:     p.Fset.Position(sel.Pos()),
-						Message: "exec.Limits is deprecated; use exec.Config",
+						Message: "exec.Limits is deleted; use exec.Config",
 					})
 				}
 				return true
@@ -126,6 +128,48 @@ var DeprecatedAPI = &Analyzer{
 		}
 		return out
 	},
+}
+
+// limitsRedeclared flags any top-level declaration named Limits inside
+// internal/exec — type alias, struct, var, or func — so the retired name
+// cannot quietly come back.
+func limitsRedeclared(p *Package) []Finding {
+	var out []Finding
+	flag := func(pos token.Pos, what string) {
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(pos),
+			Message: fmt.Sprintf("%s Limits reintroduces the deleted exec.Limits; keep the Config name", what),
+		})
+	}
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.Name == "Limits" {
+							flag(s.Pos(), "type")
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.Name == "Limits" {
+								flag(n.Pos(), "value")
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.Name == "Limits" {
+					flag(d.Pos(), "func")
+				}
+			}
+		}
+	}
+	return out
 }
 
 // ctxFirstPkgs are the packages whose exported API is the engine's public

@@ -88,6 +88,29 @@ var lim exec.Limits
 	wantFinding(t, fs, "deprecated-api", "exec.Limits")
 }
 
+func TestDeprecatedAPIFlagsLimitsRedeclaration(t *testing.T) {
+	src := `package exec
+type Config struct{}
+type Limits = Config
+`
+	fs := findings(t, lint.DeprecatedAPI, "repro/internal/exec", "exec/seed.go", src)
+	wantFinding(t, fs, "deprecated-api", "reintroduces")
+
+	vsrc := `package exec
+var Limits int
+`
+	fs = findings(t, lint.DeprecatedAPI, "repro/internal/exec", "exec/seed2.go", vsrc)
+	wantFinding(t, fs, "deprecated-api", "reintroduces")
+
+	ok := `package exec
+type Config struct{}
+func limits() int { return 0 } // lower-case: fine
+`
+	if fs := findings(t, lint.DeprecatedAPI, "repro/internal/exec", "exec/ok.go", ok); len(fs) != 0 {
+		t.Fatalf("compliant exec source flagged: %v", fs)
+	}
+}
+
 func TestCtxFirstFlagsLateContext(t *testing.T) {
 	src := `package exec
 import "context"

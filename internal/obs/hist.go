@@ -67,3 +67,40 @@ func (h Histogram) Mean() time.Duration {
 	}
 	return h.Sum / time.Duration(h.Count)
 }
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded durations
+// from the bucket counts. The estimate interpolates linearly inside the
+// bucket holding the quantile rank — coarse (buckets are decades) but
+// monotone, and good enough for the server's p50/p99 snapshot lines; exact
+// percentiles need the raw samples (the load generator keeps those). The
+// overflow bucket reports Max. Returns 0 when the histogram is empty.
+func (h Histogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var seen float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			if i >= len(histBounds) {
+				// Overflow bucket: no upper bound to interpolate toward.
+				return h.Max
+			}
+			hi := histBounds[i]
+			frac := (rank - seen) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		seen += float64(c)
+	}
+	return h.Max
+}

@@ -175,3 +175,39 @@ func TestRenderDeterministicCounters(t *testing.T) {
 		t.Fatalf("counters not sorted:\n%s", out)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	o := New()
+	// 90 fast ops (~5µs), 10 slow ones (~50ms): p50 must land in the fast
+	// decade, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		o.Observe("h", 5*time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		o.Observe("h", 50*time.Millisecond)
+	}
+	h := o.Snapshot().Histograms["h"]
+	if h.Count != 100 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < time.Microsecond || p50 >= 10*time.Microsecond {
+		t.Fatalf("p50 = %v, want inside [1µs, 10µs)", p50)
+	}
+	if p99 < 10*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want inside [10ms, 100ms]", p99)
+	}
+	if p99 < p50 {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v", p50, p99)
+	}
+	if got := (Histogram{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v", got)
+	}
+	// All mass in the overflow bucket reports Max.
+	o2 := New()
+	o2.Observe("h", 3*time.Second)
+	h2 := o2.Snapshot().Histograms["h"]
+	if got := h2.Quantile(0.5); got != h2.Max {
+		t.Fatalf("overflow quantile = %v, want Max %v", got, h2.Max)
+	}
+}

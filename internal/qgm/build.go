@@ -1,6 +1,7 @@
 package qgm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,12 @@ import (
 	"repro/internal/parser"
 	"repro/internal/sqltypes"
 )
+
+// ErrUnknownTable marks a build failure caused by a FROM or DML target table
+// that is not registered in the catalog. Builders wrap it so callers (the
+// astdb facade, and through it the wire server) can classify the failure with
+// errors.Is without matching message text.
+var ErrUnknownTable = errors.New("qgm: unknown table")
 
 // Build compiles a parsed SELECT statement into a QGM graph against the given
 // catalog. Per the paper (§2), each SQL block becomes:
@@ -203,7 +210,7 @@ func (b *builder) buildBlock(stmt *parser.SelectStmt, tag string) (*Box, error) 
 		} else {
 			tbl, ok := b.g.Cat.Table(ref.Table)
 			if !ok {
-				return nil, fmt.Errorf("qgm: table %q not found in catalog", ref.Table)
+				return nil, fmt.Errorf("%w: %q not in catalog", ErrUnknownTable, ref.Table)
 			}
 			child = b.g.BaseTableBox(tbl)
 		}

@@ -52,7 +52,7 @@ type DML struct {
 func bindDML(kind DMLKind, table string, cat *catalog.Catalog) (*DML, *resolver, error) {
 	tbl, ok := cat.Table(table)
 	if !ok {
-		return nil, nil, fmt.Errorf("qgm: table %q not found in catalog", strings.ToLower(table))
+		return nil, nil, fmt.Errorf("%w: %q not in catalog", ErrUnknownTable, strings.ToLower(table))
 	}
 	g := NewGraph(cat)
 	base := g.BaseTableBox(tbl)

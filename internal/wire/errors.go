@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/astdb"
+)
+
+// Code is a typed wire error code. Codes exist so the driver can rebuild a
+// classified error — one that answers errors.Is against the astdb sentinels —
+// without parsing message text, and so clients in other languages get a
+// stable taxonomy.
+type Code uint8
+
+const (
+	// CodeInternal is an unclassified server-side failure.
+	CodeInternal Code = iota
+	// CodeParse: the statement failed to parse, bind, or type-check.
+	CodeParse
+	// CodeUnknownTable: the statement names a table the catalog lacks.
+	CodeUnknownTable
+	// CodeBudget: the run exceeded its row-materialization budget.
+	CodeBudget
+	// CodeCanceled: the run was canceled (client disconnect, per-query
+	// timeout, or server drain deadline).
+	CodeCanceled
+	// CodeWriteProtected: DML targeted a system-maintained summary table.
+	CodeWriteProtected
+	// CodeOverloaded: admission control rejected the request (all execution
+	// slots busy, wait queue full) or the server is at its session cap.
+	CodeOverloaded
+)
+
+// String names the code for logs and error text.
+func (c Code) String() string {
+	switch c {
+	case CodeInternal:
+		return "internal"
+	case CodeParse:
+		return "parse"
+	case CodeUnknownTable:
+		return "unknown-table"
+	case CodeBudget:
+		return "budget-exceeded"
+	case CodeCanceled:
+		return "canceled"
+	case CodeWriteProtected:
+		return "write-protected"
+	case CodeOverloaded:
+		return "overloaded"
+	default:
+		return fmt.Sprintf("code-%d", uint8(c))
+	}
+}
+
+// sentinelOf maps a code back to the astdb sentinel it classifies (nil for
+// CodeInternal).
+func (c Code) sentinelOf() error {
+	switch c {
+	case CodeParse:
+		return astdb.ErrParse
+	case CodeUnknownTable:
+		return astdb.ErrUnknownTable
+	case CodeBudget:
+		return astdb.ErrBudgetExceeded
+	case CodeCanceled:
+		return astdb.ErrCanceled
+	case CodeWriteProtected:
+		return astdb.ErrWriteProtected
+	case CodeOverloaded:
+		return astdb.ErrOverloaded
+	default:
+		return nil
+	}
+}
+
+// CodeFor classifies an engine error under the wire taxonomy via errors.Is
+// on the astdb sentinels.
+func CodeFor(err error) Code {
+	switch {
+	case errors.Is(err, astdb.ErrParse):
+		return CodeParse
+	case errors.Is(err, astdb.ErrUnknownTable):
+		return CodeUnknownTable
+	case errors.Is(err, astdb.ErrBudgetExceeded):
+		return CodeBudget
+	case errors.Is(err, astdb.ErrCanceled):
+		return CodeCanceled
+	case errors.Is(err, astdb.ErrWriteProtected):
+		return CodeWriteProtected
+	case errors.Is(err, astdb.ErrOverloaded):
+		return CodeOverloaded
+	default:
+		return CodeInternal
+	}
+}
+
+// Error is a typed error crossing the wire. Unwrap returns the astdb
+// sentinel for the code, so errors.Is(err, astdb.ErrBudgetExceeded) holds on
+// the client exactly when it held on the server — the round-trip contract
+// the driver conformance suite locks.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("astdb wire [%s]: %s", e.Code, e.Msg) }
+
+// Unwrap maps the code back onto the astdb error surface.
+func (e *Error) Unwrap() error { return e.Code.sentinelOf() }
+
+// EncodeError serializes an error into a MsgError payload.
+func EncodeError(c Code, msg string) []byte {
+	var e Encoder
+	e.Uvarint(uint64(c))
+	e.String(msg)
+	return e.Bytes()
+}
+
+// DecodeError parses a MsgError payload.
+func DecodeError(p []byte) (*Error, error) {
+	d := NewDecoder(p)
+	m := &Error{Code: Code(d.Uvarint()), Msg: d.String()}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,84 @@
+// Package wire is the protocol spoken between cmd/astserve and the astdb
+// database/sql driver: a length-prefixed binary framing with a small message
+// vocabulary (query, exec, explain, obs-snapshot, ping) and typed error
+// codes that round-trip the astdb error surface across the network.
+//
+// One TCP connection is one session. The client sends one request frame at a
+// time and reads exactly one response frame for it; there is no pipelining
+// and no multiplexing — concurrency comes from pooling connections
+// (database/sql does this for free). Cancellation is by disconnect: closing
+// the connection aborts the in-flight request server-side, which is exactly
+// the contract database/sql drivers implement for context cancellation.
+//
+// Framing: every frame is a 1-byte message type, a 4-byte big-endian payload
+// length, then the payload. Payload encodings are fixed per message type and
+// built from four primitives — uvarint, varint, raw float bits, and
+// length-prefixed UTF-8 — shared with the sqltypes value codec.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Request message types (client → server).
+const (
+	// MsgQuery carries one SELECT statement; answered by MsgRows or MsgError.
+	MsgQuery byte = 0x01
+	// MsgExec carries one DML statement (INSERT/DELETE/UPDATE); answered by
+	// MsgExecOK or MsgError.
+	MsgExec byte = 0x02
+	// MsgExplain carries one SELECT (or EXPLAIN-able DML) statement; answered
+	// by MsgText holding the rendered report.
+	MsgExplain byte = 0x03
+	// MsgObs requests the server's observability snapshot; answered by
+	// MsgText.
+	MsgObs byte = 0x04
+	// MsgPing is a liveness probe; answered by MsgPong.
+	MsgPing byte = 0x05
+)
+
+// Response message types (server → client).
+const (
+	MsgRows   byte = 0x81
+	MsgExecOK byte = 0x82
+	MsgText   byte = 0x83
+	MsgPong   byte = 0x84
+	MsgError  byte = 0xFF
+)
+
+// MaxFrame bounds a frame payload; a peer announcing more is broken or
+// hostile and the connection is dropped.
+const MaxFrame = 64 << 20
+
+// WriteFrame writes one frame. It performs a single Write call so frames
+// from one writer goroutine never interleave.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d exceeds limit %d", len(payload), MaxFrame)
+	}
+	buf := make([]byte, 5+len(payload))
+	buf[0] = typ
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads past MaxFrame.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, MaxFrame)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
