@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -80,10 +81,32 @@ type Engine struct {
 	// verifyPlans checks every parsed graph with qgmcheck (WithVerifyPlans).
 	verifyPlans bool
 
-	mu         sync.Mutex
-	asts       []*core.CompiledAST
-	plans      []*maintain.Plan
-	plansDirty bool
+	// The AST set and its derived maintenance plans are read on every Query
+	// and published RCU-style: asts always points at an immutable slice that
+	// readers load with one atomic op and never mutate; writers (summary-table
+	// registration) serialize on mu, build a fresh slice, and swap the
+	// pointer. plans caches the maintenance analysis for the published set; a
+	// nil pointer means "recompute" and is the write side's invalidation.
+	// Engine bookkeeping therefore never serializes concurrent Query calls.
+	mu    sync.Mutex // serializes AST-set writers; readers use asts/plans
+	asts  atomic.Pointer[[]*core.CompiledAST]
+	plans atomic.Pointer[[]*maintain.Plan]
+}
+
+// astsNow returns the published AST set. The slice is immutable by contract:
+// callers (and everything they pass it to) must not append to or reorder it.
+func (e *Engine) astsNow() []*core.CompiledAST {
+	if p := e.asts.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setASTs publishes a new AST set and invalidates the derived maintenance
+// plans. Callers must hold e.mu (or be the constructor, pre-publication).
+func (e *Engine) setASTs(asts []*core.CompiledAST) {
+	e.asts.Store(&asts)
+	e.plans.Store(nil)
 }
 
 // settings accumulates functional options.
@@ -158,7 +181,7 @@ func Open(cat *catalog.Catalog, options ...Option) (*Engine, error) {
 	rw := core.NewRewriter(cat, c.coreOpts)
 	e := assemble(cat, store, exec.NewEngine(store), rw, c)
 	asts, err := rw.CompileAll()
-	e.asts, e.plansDirty = asts, true
+	e.setASTs(asts)
 	return e, err
 }
 
@@ -172,8 +195,7 @@ func Wrap(rw *core.Rewriter, exe *exec.Engine, asts []*core.CompiledAST, options
 		o(&c)
 	}
 	e := assemble(rw.Catalog(), exe.Store(), exe, rw, c)
-	e.asts = append([]*core.CompiledAST(nil), asts...)
-	e.plansDirty = true
+	e.setASTs(append([]*core.CompiledAST(nil), asts...))
 	return e
 }
 
@@ -223,11 +245,10 @@ func (e *Engine) PlanCache() *core.PlanCache { return e.cache }
 // observer is attached.
 func (e *Engine) Snapshot() obs.Snapshot { return e.obsv.Snapshot() }
 
-// ASTs returns the compiled summary tables, in registration order.
+// ASTs returns the compiled summary tables, in registration order. The
+// returned slice is the caller's to mutate; internal hot paths use astsNow.
 func (e *Engine) ASTs() []*core.CompiledAST {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return append([]*core.CompiledAST(nil), e.asts...)
+	return append([]*core.CompiledAST(nil), e.astsNow()...)
 }
 
 // Degradations drains the degradation errors (recovered match panics,
@@ -286,7 +307,7 @@ func (e *Engine) Query(ctx context.Context, sql string) (*Answer, error) {
 		}
 		return e.queryGraph(ctx, g)
 	}
-	cr, err := e.rw.RewriteSQLCached(ctx, e.cache, sql, e.ASTs(), e.store)
+	cr, err := e.rw.RewriteSQLCached(ctx, e.cache, sql, e.astsNow(), e.store)
 	if err != nil {
 		return nil, compileError(err)
 	}
@@ -322,7 +343,7 @@ func (e *Engine) QueryGraph(ctx context.Context, query *qgm.Graph) (*Answer, err
 }
 
 func (e *Engine) queryGraph(ctx context.Context, query *qgm.Graph) (*Answer, error) {
-	plan, res := e.rw.RewriteOrFallback(ctx, query, e.ASTs())
+	plan, res := e.rw.RewriteOrFallback(ctx, query, e.astsNow())
 	r, err := e.runPlan(ctx, plan)
 	if err == nil {
 		ans := &Answer{Result: r, Plan: plan, Rewrite: res}
@@ -353,7 +374,7 @@ func (e *Engine) Rewrite(ctx context.Context, sql string, only ...string) (*Rewr
 	defer span.End()
 	ctx = obs.ContextWithSpan(ctx, span)
 	if e.cache != nil && len(only) == 0 {
-		cr, err := e.rw.RewriteSQLCached(ctx, e.cache, sql, e.ASTs(), e.store)
+		cr, err := e.rw.RewriteSQLCached(ctx, e.cache, sql, e.astsNow(), e.store)
 		if err != nil {
 			return nil, compileError(err)
 		}
@@ -398,9 +419,11 @@ func (e *Engine) parse(span obs.Span, sql string) (*qgm.Graph, error) {
 }
 
 // selectASTs returns the compiled ASTs restricted to the given names (all
-// when names is empty).
+// when names is empty). The unrestricted case returns the published slice
+// itself; the filtered case builds a fresh slice — filtering in place would
+// scribble on the immutable published set.
 func (e *Engine) selectASTs(names []string) []*core.CompiledAST {
-	asts := e.ASTs()
+	asts := e.astsNow()
 	if len(names) == 0 {
 		return asts
 	}
@@ -408,7 +431,7 @@ func (e *Engine) selectASTs(names []string) []*core.CompiledAST {
 	for _, n := range names {
 		want[n] = true
 	}
-	out := asts[:0]
+	out := make([]*core.CompiledAST, 0, len(names))
 	for _, ca := range asts {
 		if want[ca.Def.Name] {
 			out = append(out, ca)
@@ -465,8 +488,10 @@ func (e *Engine) CreateSummaryTable(ctx context.Context, name, sql string) (*cor
 	}
 	e.store.Put(ca.Table, res.Rows)
 	e.mu.Lock()
-	e.asts = append(e.asts, ca)
-	e.plansDirty = true
+	old := e.astsNow()
+	next := make([]*core.CompiledAST, 0, len(old)+1)
+	next = append(append(next, old...), ca)
+	e.setASTs(next)
 	e.mu.Unlock()
 	return ca, len(res.Rows), nil
 }
@@ -526,18 +551,24 @@ func (e *Engine) Refresh(ctx context.Context, names ...string) ([]maintain.Stats
 }
 
 // maintPlans returns the maintenance plans for the current AST set, reusing
-// the analysis until the set changes.
+// the analysis until the set changes. The steady state is one atomic load;
+// only the first call after an AST-set change pays the analysis under mu.
 func (e *Engine) maintPlans() []*maintain.Plan {
+	if p := e.plans.Load(); p != nil {
+		return *p
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.plansDirty || e.plans == nil {
-		e.plans = make([]*maintain.Plan, 0, len(e.asts))
-		for _, ca := range e.asts {
-			e.plans = append(e.plans, e.maint.Analyze(ca))
-		}
-		e.plansDirty = false
+	if p := e.plans.Load(); p != nil {
+		return *p
 	}
-	return e.plans
+	asts := e.astsNow()
+	plans := make([]*maintain.Plan, 0, len(asts))
+	for _, ca := range asts {
+		plans = append(plans, e.maint.Analyze(ca))
+	}
+	e.plans.Store(&plans)
+	return plans
 }
 
 // sortedByName orders compiled ASTs by name (for deterministic reporting).

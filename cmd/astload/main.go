@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,7 +57,24 @@ func run() error {
 	queries := flag.Int("queries", 512, "total queries per leg")
 	warmup := flag.Int("warmup", 16, "untimed warmup queries per leg")
 	jsonPath := flag.String("json", "", "write the machine-readable report (BENCH_4.json format) to this path")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this path")
+	blockProfile := flag.String("blockprofile", "", "write a blocking profile of the run to this path")
+	gomaxprocs := flag.Int("gomaxprocs", 0, "override GOMAXPROCS for the run (0 = leave as-is)")
 	flag.Parse()
+
+	if *gomaxprocs > 0 {
+		runtime.GOMAXPROCS(*gomaxprocs)
+	}
+	// Sample every mutex-contention and blocking event: the benchmark exists
+	// to find contention, so a full-rate profile beats a cheap one. The legs
+	// themselves measure throughput, so profile-enabled runs should not be
+	// compared against profile-off runs.
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 
 	var sessions []int
 	for _, s := range strings.Split(*sessionsFlag, ",") {
@@ -97,6 +115,13 @@ func run() error {
 		}
 	}
 
+	if err := writeProfile("mutex", *mutexProfile); err != nil {
+		return err
+	}
+	if err := writeProfile("block", *blockProfile); err != nil {
+		return err
+	}
+
 	renderTable(report)
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -108,6 +133,24 @@ func run() error {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+	return nil
+}
+
+// writeProfile dumps one named runtime profile (pprof format) to path, or does
+// nothing when path is empty.
+func writeProfile(name, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		return fmt.Errorf("writing %s profile: %w", name, err)
+	}
+	fmt.Printf("wrote %s profile to %s\n", name, path)
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/sqltypes"
@@ -98,8 +99,12 @@ type ASTDef struct {
 
 // Catalog is the metadata store. Schema mutation (AddTable, RegisterAST, …)
 // is not safe for concurrent use; the read path (lookups) is safe once
-// populated. AST freshness state is mutex-guarded separately, so maintenance
-// may mark ASTs stale/fresh while rewrites consult Usable concurrently.
+// populated. AST freshness state is published RCU-style: readers (Status,
+// Usable, plan-cache fingerprinting) load an immutable snapshot through an
+// atomic pointer and take no lock; writer transitions (MarkFresh, MarkStale,
+// RecordRefreshFailure) serialize on statusMu, build a replacement snapshot,
+// and swap it in. Maintenance may therefore mark ASTs stale/fresh while
+// every concurrent query-path freshness check stays contention-free.
 type Catalog struct {
 	tables   map[string]*Table
 	tableIDs map[string]int // stable numeric IDs for signature bitmaps
@@ -107,12 +112,48 @@ type Catalog struct {
 	fkEdges  []fkEdge // fks as table IDs, for the signature index
 	asts     []ASTDef
 
-	statusMu        sync.Mutex
-	status          map[string]*ASTStatus
-	quarantineAfter int
+	statusMu        sync.Mutex // serializes status writers; readers use status
+	status          atomic.Pointer[statusSnap]
+	quarantineAfter int           // guarded by statusMu
 	obsv            *obs.Observer // nil = observability disabled
 
 	sigs sigIndex // candidate-pruning signature index (signature.go)
+}
+
+// statusSnap is one immutable published generation of every AST's freshness
+// state. Readers must not mutate the map; writers replace the whole snapshot
+// under statusMu (copy, mutate the copy, atomically publish).
+type statusSnap struct {
+	byName map[string]ASTStatus
+}
+
+// statusNow returns the current snapshot map (nil for a catalog that never
+// recorded a transition — every AST then has the zero status).
+func (c *Catalog) statusNow() map[string]ASTStatus {
+	if s := c.status.Load(); s != nil {
+		return s.byName
+	}
+	return nil
+}
+
+// mutateStatus applies f to the named AST's status in a copied snapshot and
+// publishes the copy, returning the updated status. It is the single writer
+// seam: every transition goes through here, so the published snapshot is
+// always a complete, immutable generation.
+func (c *Catalog) mutateStatus(name string, f func(*ASTStatus)) ASTStatus {
+	name = strings.ToLower(name)
+	c.statusMu.Lock()
+	old := c.statusNow()
+	next := make(map[string]ASTStatus, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	st := next[name]
+	f(&st)
+	next[name] = st
+	c.status.Store(&statusSnap{byName: next})
+	c.statusMu.Unlock()
+	return st
 }
 
 // DefaultQuarantineThreshold is the number of consecutive refresh failures
@@ -125,7 +166,6 @@ func New() *Catalog {
 	return &Catalog{
 		tables:          make(map[string]*Table),
 		tableIDs:        make(map[string]int),
-		status:          make(map[string]*ASTStatus),
 		quarantineAfter: DefaultQuarantineThreshold,
 	}
 }
@@ -329,7 +369,15 @@ func (c *Catalog) UnregisterAST(name string) {
 	}
 	c.asts = out
 	c.statusMu.Lock()
-	delete(c.status, name)
+	if old := c.statusNow(); len(old) > 0 {
+		next := make(map[string]ASTStatus, len(old))
+		for k, v := range old {
+			if k != name {
+				next[k] = v
+			}
+		}
+		c.status.Store(&statusSnap{byName: next})
+	}
 	c.statusMu.Unlock()
 	c.sigs.remove(name)
 }
@@ -369,37 +417,22 @@ func (c *Catalog) SetQuarantineThreshold(n int) {
 }
 
 // Status returns a copy of the AST's freshness state (zero value when the
-// AST was never refreshed or marked).
+// AST was never refreshed or marked). It is lock-free: the query path calls
+// it once per registered AST per plan-cache lookup.
 func (c *Catalog) Status(name string) ASTStatus {
-	c.statusMu.Lock()
-	defer c.statusMu.Unlock()
-	if st := c.status[strings.ToLower(name)]; st != nil {
-		return *st
-	}
-	return ASTStatus{}
-}
-
-func (c *Catalog) statusFor(name string) *ASTStatus {
-	name = strings.ToLower(name)
-	st := c.status[name]
-	if st == nil {
-		st = &ASTStatus{}
-		c.status[name] = st
-	}
-	return st
+	return c.statusNow()[strings.ToLower(name)]
 }
 
 // MarkFresh records a successful refresh: bumps the epoch, clears staleness
 // and quarantine, and resets the failure counter. A successful full
 // recompute is the only way out of quarantine.
 func (c *Catalog) MarkFresh(name string) {
-	c.statusMu.Lock()
-	st := c.statusFor(name)
-	st.Epoch++
-	st.Stale = false
-	st.Quarantined = false
-	st.Failures = 0
-	c.statusMu.Unlock()
+	c.mutateStatus(name, func(st *ASTStatus) {
+		st.Epoch++
+		st.Stale = false
+		st.Quarantined = false
+		st.Failures = 0
+	})
 	c.sigs.mark(strings.ToLower(name), false, false)
 	c.obsv.Add("catalog.ast.fresh", 1)
 	if c.obsv.Enabled() {
@@ -411,12 +444,10 @@ func (c *Catalog) MarkFresh(name string) {
 // a refresh failure (used when a read of the materialized table fails, or a
 // base insert lands without the AST being refreshed).
 func (c *Catalog) MarkStale(name string) {
-	c.statusMu.Lock()
-	st := c.statusFor(name)
-	st.Stale = true
-	quarantined := st.Quarantined
-	c.statusMu.Unlock()
-	c.sigs.mark(strings.ToLower(name), true, quarantined)
+	st := c.mutateStatus(name, func(st *ASTStatus) {
+		st.Stale = true
+	})
+	c.sigs.mark(strings.ToLower(name), true, st.Quarantined)
 	c.obsv.Add("catalog.ast.stale", 1)
 	if c.obsv.Enabled() {
 		c.obsv.Emit("catalog.stale", name)
@@ -427,17 +458,15 @@ func (c *Catalog) MarkStale(name string) {
 // failure count, and trips the quarantine breaker when the threshold is
 // reached. It returns the updated status.
 func (c *Catalog) RecordRefreshFailure(name string) ASTStatus {
-	c.statusMu.Lock()
-	st := c.statusFor(name)
-	st.Stale = true
-	st.Failures++
 	tripped := false
-	if st.Failures >= c.quarantineAfter {
-		tripped = !st.Quarantined
-		st.Quarantined = true
-	}
-	out := *st
-	c.statusMu.Unlock()
+	out := c.mutateStatus(name, func(st *ASTStatus) {
+		st.Stale = true
+		st.Failures++
+		if st.Failures >= c.quarantineAfter { // quarantineAfter: statusMu held
+			tripped = !st.Quarantined
+			st.Quarantined = true
+		}
+	})
 	c.sigs.mark(strings.ToLower(name), out.Stale, out.Quarantined)
 	c.obsv.Add("catalog.ast.refresh_failures", 1)
 	if tripped {
@@ -454,13 +483,10 @@ func (c *Catalog) RecordRefreshFailure(name string) ASTStatus {
 
 // Usable reports whether the rewriter may route queries to the AST:
 // quarantined ASTs never, stale ASTs only when the caller allows staleness.
+// Lock-free (one atomic snapshot load), so per-candidate checks on the query
+// path never serialize against maintenance transitions.
 func (c *Catalog) Usable(name string, allowStale bool) bool {
-	c.statusMu.Lock()
-	defer c.statusMu.Unlock()
-	st := c.status[strings.ToLower(name)]
-	if st == nil {
-		return true
-	}
+	st := c.statusNow()[strings.ToLower(name)]
 	if st.Quarantined {
 		return false
 	}

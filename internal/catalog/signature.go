@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the candidate-pruning signature index. At AST compile time the
@@ -160,40 +161,66 @@ type Signature struct {
 
 // sigEntry is one AST's index entry: the signature plus freshness flags
 // mirrored from ASTStatus on every transition, so admission checks never take
-// the status mutex.
+// the status mutex. Entries are immutable once published — a freshness
+// transition replaces the entry (sharing the Signature pointer), never
+// mutates it in place.
 type sigEntry struct {
 	sig         *Signature
 	stale       bool
 	quarantined bool
 }
 
-// sigIndex is the per-catalog signature index.
+// sigIndex is the per-catalog signature index. Like AST status, it is
+// published RCU-style: the entry map behind the atomic pointer is immutable,
+// readers (AdmitsAST — once per candidate per uncached rewrite) load it with
+// no lock, and writers serialize on mu, copy, and swap.
 type sigIndex struct {
-	mu      sync.RWMutex
-	entries map[string]*sigEntry
+	mu      sync.Mutex // serializes writers; readers use entries
+	entries atomic.Pointer[map[string]*sigEntry]
+}
+
+// load returns the current immutable entry map (nil when empty).
+func (x *sigIndex) load() map[string]*sigEntry {
+	if m := x.entries.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// replace publishes a copy of the current map with name set to e (or deleted
+// when e is nil). Callers must hold x.mu.
+func (x *sigIndex) replace(name string, e *sigEntry) {
+	old := x.load()
+	next := make(map[string]*sigEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	if e == nil {
+		delete(next, name)
+	} else {
+		next[name] = e
+	}
+	x.entries.Store(&next)
 }
 
 func (x *sigIndex) set(name string, e *sigEntry) {
 	x.mu.Lock()
-	if x.entries == nil {
-		x.entries = make(map[string]*sigEntry)
-	}
-	x.entries[name] = e
+	x.replace(name, e)
 	x.mu.Unlock()
 }
 
 func (x *sigIndex) remove(name string) {
 	x.mu.Lock()
-	delete(x.entries, name)
+	x.replace(name, nil)
 	x.mu.Unlock()
 }
 
-// mark updates the mirrored freshness flags of an entry, if present.
+// mark updates the mirrored freshness flags of an entry, if present, by
+// swapping in a replacement entry sharing the same signature.
 func (x *sigIndex) mark(name string, stale, quarantined bool) {
 	x.mu.Lock()
-	if e := x.entries[name]; e != nil {
-		e.stale = stale
-		e.quarantined = quarantined
+	if e := x.load()[name]; e != nil {
+		x.replace(name, &sigEntry{sig: e.sig, stale: stale, quarantined: quarantined})
 	}
 	x.mu.Unlock()
 }
@@ -216,9 +243,7 @@ func (c *Catalog) SetASTSignature(name string, sig *Signature) {
 
 // ASTSignature returns the indexed signature for the named AST, if any.
 func (c *Catalog) ASTSignature(name string) (*Signature, bool) {
-	c.sigs.mu.RLock()
-	defer c.sigs.mu.RUnlock()
-	e := c.sigs.entries[strings.ToLower(name)]
+	e := c.sigs.load()[strings.ToLower(name)]
 	if e == nil {
 		return nil, false
 	}
@@ -232,9 +257,7 @@ func (c *Catalog) ASTSignature(name string) (*Signature, bool) {
 // of the conservative refutation rules against the query signature q. ASTs
 // without an index entry, and nil query signatures, are always admitted.
 func (c *Catalog) AdmitsAST(name string, q *Signature, allowStale bool) bool {
-	c.sigs.mu.RLock()
-	e := c.sigs.entries[strings.ToLower(name)]
-	c.sigs.mu.RUnlock()
+	e := c.sigs.load()[strings.ToLower(name)]
 	if e == nil {
 		return true
 	}

@@ -1,0 +1,93 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStatusRCUReadersDuringTransitions is the RCU contract test for AST
+// status: lock-free readers (Status, Usable, ASTSignature on the signature
+// index) run against writers driving the full transition cycle — stale,
+// refresh failures up to quarantine, recovery. Each reader checks the
+// invariants a published snapshot guarantees:
+//
+//   - the epoch never moves backwards between two successive reads (snapshots
+//     are immutable and swapped whole, so time only flows forward);
+//   - a status with Failures at or past the threshold is also Quarantined —
+//     failure count and quarantine verdict are written in one snapshot, so a
+//     reader can never see the count without the verdict;
+//   - Usable and ASTSignature stay callable mid-transition (the -race run is
+//     the memory-safety proof for their lock-free read paths).
+func TestStatusRCUReadersDuringTransitions(t *testing.T) {
+	c := New()
+	c.SetQuarantineThreshold(3)
+	c.MustRegisterAST(ASTDef{Name: "rcu", SQL: "select faid, count(*) as c from trans group by faid"})
+
+	const readers = 6
+	const writers = 2
+	const rounds = 300
+	errc := make(chan error, readers)
+	stop := make(chan struct{})
+
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			lastEpoch := int64(-1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := c.Status("rcu")
+				if int64(st.Epoch) < lastEpoch {
+					errc <- fmt.Errorf("reader %d: epoch went backwards: %d after %d", r, st.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = int64(st.Epoch)
+				if st.Failures >= 3 && !st.Quarantined {
+					errc <- fmt.Errorf("reader %d: %d failures past threshold without quarantine: %+v", r, st.Failures, st)
+					return
+				}
+				c.Usable("rcu", false)
+				c.ASTSignature("rcu")
+			}
+		}(r)
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < rounds; i++ {
+				switch i % 5 {
+				case 0:
+					c.MarkStale("rcu")
+				case 1, 2, 3:
+					c.RecordRefreshFailure("rcu")
+				default:
+					c.MarkFresh("rcu")
+				}
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Quiesce: one final recovery publishes a clean snapshot every reader
+	// would agree on.
+	c.MarkFresh("rcu")
+	if st := c.Status("rcu"); st.Stale || st.Quarantined || st.Failures != 0 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/qgm"
@@ -23,13 +24,32 @@ import (
 // bumps the epoch), quarantine — changes the fingerprint and therefore the
 // key, so a cached plan can never serve a stale AST that Options.AllowStale
 // would refuse: the stale-era entry simply stops being found and ages out.
+//
+// Concurrency: the cache is striped. Keys hash (FNV-1a over the full key,
+// fingerprint included) onto independent LRU shards, each behind its own
+// mutex, so concurrent sessions hitting different queries never contend on
+// one lock; lifetime statistics are lock-free atomics. Small caches
+// (capacity < planCacheStripeMin) collapse to a single shard, which keeps
+// exact global LRU order where capacity is tight enough for eviction order
+// to be observable. The freshness-fingerprint contract is untouched by
+// striping: invalidation is by key construction, not by mutation, and a
+// status transition re-keys the entry — possibly onto a different shard —
+// while the stale-era entry ages out of its own shard's LRU.
 type PlanCache struct {
+	shards []planShard
+
+	hits, misses, evictions atomic.Int64
+}
+
+// planShard is one independent LRU stripe of the cache.
+type planShard struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
 
-	hits, misses, evictions int64
+	// Pad to a cache line so neighboring shards' mutexes do not false-share.
+	_ [64]byte
 }
 
 type cacheEntry struct {
@@ -41,76 +61,121 @@ type cacheEntry struct {
 // DefaultPlanCacheSize bounds a cache constructed with capacity <= 0.
 const DefaultPlanCacheSize = 256
 
+// planCacheStripes is the shard count for caches large enough to stripe
+// (power of two, so shard selection is a mask).
+const planCacheStripes = 16
+
+// planCacheStripeMin is the smallest capacity that stripes: below it a
+// per-shard capacity would round to a handful of entries and hash skew could
+// evict hot plans a global LRU would keep.
+const planCacheStripeMin = 4 * planCacheStripes
+
 // NewPlanCache returns an empty cache holding at most capacity plans.
 func NewPlanCache(capacity int) *PlanCache {
 	if capacity <= 0 {
 		capacity = DefaultPlanCacheSize
 	}
-	return &PlanCache{cap: capacity, ll: list.New(), byKey: map[string]*list.Element{}}
+	n := 1
+	if capacity >= planCacheStripeMin {
+		n = planCacheStripes
+	}
+	c := &PlanCache{shards: make([]planShard, n)}
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		c.shards[i] = planShard{cap: sc, ll: list.New(), byKey: map[string]*list.Element{}}
+	}
+	return c
+}
+
+// shard maps a key to its stripe by FNV-1a hash. The fingerprint prefix is
+// part of the hashed key, so a status transition re-keys (and may re-shard)
+// an entry — exactly the invalidation-by-construction the fingerprint
+// contract relies on.
+func (c *PlanCache) shard(key string) *planShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h&uint64(len(c.shards)-1)]
 }
 
 // Len returns the number of cached plans.
 func (c *PlanCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns lifetime hit and miss counts.
 func (c *PlanCache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Evictions returns how many entries capacity pressure has evicted over the
 // cache's lifetime.
 func (c *PlanCache) Evictions() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.evictions
+	return c.evictions.Load()
 }
 
 // get returns a private clone of the cached plan for key, promoting the entry.
 func (c *PlanCache) get(key string) (*qgm.Graph, string, bool) {
-	c.mu.Lock()
-	el, ok := c.byKey[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.byKey[key]
 	if !ok {
-		c.misses++
-		c.mu.Unlock()
+		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil, "", false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
+	s.ll.MoveToFront(el)
 	ent := el.Value.(*cacheEntry)
 	plan, ast := ent.plan, ent.ast
-	c.mu.Unlock()
+	s.mu.Unlock()
+	c.hits.Add(1)
 	// Clone outside the lock: callers execute (and may mutate) their copy,
 	// the cached plan stays pristine.
 	return plan.Clone(), ast, true
 }
 
 // put stores a private clone of plan under key, evicting the least recently
-// used entries past capacity; it returns how many entries were evicted.
+// used entries of the key's shard past its capacity; it returns how many
+// entries were evicted.
 func (c *PlanCache) put(key string, plan *qgm.Graph, ast string) int {
 	stored := plan.Clone()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		c.ll.MoveToFront(el)
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		s.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).plan = stored
 		el.Value.(*cacheEntry).ast = ast
+		s.mu.Unlock()
 		return 0
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, plan: stored, ast: ast})
+	s.byKey[key] = s.ll.PushFront(&cacheEntry{key: key, plan: stored, ast: ast})
 	evicted := 0
-	for c.ll.Len() > c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.byKey, back.Value.(*cacheEntry).key)
+	for s.ll.Len() > s.cap {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.byKey, back.Value.(*cacheEntry).key)
 		evicted++
 	}
-	c.evictions += int64(evicted)
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
 	return evicted
 }
 

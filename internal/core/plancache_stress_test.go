@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPlanCacheStripedConcurrentHits hammers a striped cache (capacity ≥
+// planCacheStripeMin, so 16 shards) from many goroutines over more distinct
+// queries than the cache holds, forcing concurrent hits, misses, inserts, and
+// evictions across shards. Run under -race this is the memory-safety proof for
+// the striping; the assertions prove the accounting survives the races: every
+// lookup is classified exactly once (hits + misses == lookups) and no shard
+// ever exceeds its capacity.
+func TestPlanCacheStripedConcurrentHits(t *testing.T) {
+	e := newEnv(t, 1000)
+	ast := e.registerAST(t, "pc_stress", pcAggSQL)
+	asts := []*core.CompiledAST{ast}
+	const capacity = 64 // striped: 16 shards × 4 entries
+	cache := core.NewPlanCache(capacity)
+
+	// More distinct queries than capacity, each parseable and rewriteable, so
+	// the storm exercises eviction as well as hit promotion.
+	queries := make([]string, 96)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(
+			"select faid, count(*) as cnt from trans where faid <= %d group by faid", i+1)
+	}
+
+	const workers = 8
+	const opsPer = 120
+	var lookups atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < opsPer; i++ {
+				q := queries[(w*31+i)%len(queries)]
+				cr, err := e.rw.RewriteSQLCached(ctx, cache, q, asts, e.store)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if cr.Plan == nil {
+					errc <- fmt.Errorf("worker %d: nil plan for %q", w, q)
+					return
+				}
+				lookups.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if n := cache.Len(); n > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", n, capacity)
+	}
+	hits, misses := cache.Stats()
+	if hits+misses != lookups.Load() {
+		t.Fatalf("hits %d + misses %d != lookups %d", hits, misses, lookups.Load())
+	}
+	if misses < int64(len(queries)) {
+		t.Fatalf("misses %d < distinct queries %d", misses, len(queries))
+	}
+}
+
+// TestPlanCacheConcurrentInvalidation races cache lookups against the status
+// transitions that re-key entries (MarkStale / MarkFresh bump the freshness
+// fingerprint): readers must always get a runnable plan mid-flip, and once the
+// writer quiesces with the AST fresh, the very next miss repopulates the
+// fresh-era entry and subsequent lookups hit it with the rewrite intact.
+func TestPlanCacheConcurrentInvalidation(t *testing.T) {
+	e := newEnv(t, 1000)
+	ast := e.registerAST(t, "pc_flip", pcAggSQL)
+	asts := []*core.CompiledAST{ast}
+	cache := core.NewPlanCache(core.DefaultPlanCacheSize)
+	ctx := context.Background()
+	sql := "select faid, count(*) as cnt from trans group by faid"
+
+	const readers = 6
+	const readsPer = 80
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < readsPer; i++ {
+				cr, err := e.rw.RewriteSQLCached(ctx, cache, sql, asts, e.store)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if cr.Plan == nil {
+					errc <- fmt.Errorf("reader %d: nil plan", r)
+					return
+				}
+				// A hit that claims the AST must have come from an era whose
+				// fingerprint admitted it; a base-plan answer is always legal.
+				if cr.Hit && cr.AST != "" && cr.AST != "pc_flip" {
+					errc <- fmt.Errorf("reader %d: hit names unknown AST %q", r, cr.AST)
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 60; i++ {
+			if i%2 == 0 {
+				e.cat.MarkStale("pc_flip")
+			} else {
+				e.cat.MarkFresh("pc_flip")
+			}
+		}
+		e.cat.MarkFresh("pc_flip")
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	<-stop
+
+	// Quiesced fresh: the fresh-era key either already exists or repopulates
+	// on this miss; the follow-up lookup must hit and carry the rewrite.
+	if _, err := e.rw.RewriteSQLCached(ctx, cache, sql, asts, e.store); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := e.rw.RewriteSQLCached(ctx, cache, sql, asts, e.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Hit || cr.AST != "pc_flip" {
+		t.Fatalf("after quiesce: want fresh-era hit on pc_flip, got %+v", cr)
+	}
+}

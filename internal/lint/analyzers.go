@@ -14,7 +14,7 @@ func All() []*Analyzer {
 		DeprecatedAPI,
 		CtxFirst,
 		ObsNilGuard,
-		StorageLock,
+		MutexDiscipline,
 		StorageRows,
 	}
 }
@@ -281,19 +281,61 @@ var ObsNilGuard = &Analyzer{
 	},
 }
 
-// lockedFields maps a storage receiver type to the field its mutex guards.
-var lockedFields = map[string]string{
-	"Store":     "tables",
-	"TableData": "chunks",
+// mutexSpec describes one mutex-discipline rule for a package: fields that
+// may only be touched with the named mutex held, and RCU-publish fields —
+// atomic.Pointer snapshots where readers Load freely but every .Store(...)
+// (the copy-mutate-swap commit) must happen with the writer mutex held.
+type mutexSpec struct {
+	mutex   string   // mutex field name (e.g. "mu", "statusMu")
+	guarded []string // fields needing <base>.<mutex>.Lock in the same function
+	publish []string // atomic.Pointer fields whose .Store(...) needs the lock
 }
 
-// StorageLock requires storage methods that touch a mutex-guarded field of
-// their receiver to take that receiver's mutex in the same function.
-var StorageLock = &Analyzer{
-	Name: "storage-lock",
-	Doc:  "storage.Store/TableData methods lock mu around guarded fields",
+// mutexSpecs lists the striped and RCU-published structures the analyzer
+// enforces, per package. Matching is syntactic and identifier-based (no type
+// info): an access `x.field` requires a `x.<mutex>.Lock()` (or RLock) call in
+// the same function, whatever x is — a receiver, a shard picked out of an
+// array, a stripe. Two escapes exist, both visible in the source: functions
+// named New*/new* own their value pre-publication, and a helper whose doc
+// comment says the caller "must hold" the lock transfers the obligation to
+// its (greppable) callers.
+var mutexSpecs = map[string][]mutexSpec{
+	// Store.tables and TableData.view are published snapshots; the canonical
+	// chunk slice is writer-owned under TableData.mu.
+	"repro/internal/storage": {
+		{mutex: "mu", guarded: []string{"chunks"}, publish: []string{"tables", "view"}},
+	},
+	// Each plan-cache shard's LRU list and index live under the shard mutex.
+	"repro/internal/core": {
+		{mutex: "mu", guarded: []string{"ll", "byKey"}},
+	},
+	// Histogram stripes guard their bucket set; the counter/histogram cell
+	// registries are copy-on-write maps published under the Observer mutex.
+	"repro/internal/obs": {
+		{mutex: "mu", guarded: []string{"h"}, publish: []string{"counters", "hists"}},
+	},
+	// AST status snapshots publish under statusMu; the signature index
+	// publishes under its own mu.
+	"repro/internal/catalog": {
+		{mutex: "statusMu", publish: []string{"status"}},
+		{mutex: "mu", publish: []string{"entries"}},
+	},
+	// The engine's AST set and derived maintenance plans publish under mu.
+	"repro/astdb": {
+		{mutex: "mu", publish: []string{"asts", "plans"}},
+	},
+}
+
+// MutexDiscipline enforces the locking rules in mutexSpecs: guarded-field
+// access and RCU-pointer publication only under the owning mutex. It is the
+// generalization of the original storage-only lock analyzer to every striped
+// or atomically-published structure on the serving hot path.
+var MutexDiscipline = &Analyzer{
+	Name: "mutex-discipline",
+	Doc:  "guarded fields and atomic.Pointer publishes take the owning mutex",
 	Run: func(p *Package) []Finding {
-		if p.Path != "repro/internal/storage" {
+		specs, ok := mutexSpecs[p.Path]
+		if !ok {
 			return nil
 		}
 		var out []Finding
@@ -306,46 +348,101 @@ var StorageLock = &Analyzer{
 				if !ok || fd.Body == nil {
 					continue
 				}
-				recv, _ := receiverType(fd)
-				field, guarded := lockedFields[recv]
-				if !guarded {
-					continue
+				if strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "new") {
+					continue // constructors own the value before publication
 				}
-				recvName := receiverName(fd)
-				if recvName == "" {
-					continue
+				if lockTransferred(fd) {
+					continue // documented "callers must hold" helper
 				}
-				var touch ast.Node
-				locks := false
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
-					sel, ok := n.(*ast.SelectorExpr)
-					if !ok {
-						return true
-					}
-					if id, ok := sel.X.(*ast.Ident); ok && id.Name == recvName && sel.Sel.Name == field && touch == nil {
-						touch = sel
-					}
-					// recv.mu.Lock / recv.mu.RLock
-					if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
-						if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "mu" {
-							if id, ok := inner.X.(*ast.Ident); ok && id.Name == recvName {
-								locks = true
-							}
-						}
-					}
-					return true
-				})
-				if touch != nil && !locks {
-					out = append(out, Finding{
-						Pos: p.Fset.Position(touch.Pos()),
-						Message: fmt.Sprintf("%s.%s accesses %s.%s without taking %s.mu",
-							recv, fd.Name.Name, recvName, field, recvName),
-					})
-				}
+				out = append(out, checkMutexSpecs(p, fd, specs)...)
 			}
 		}
 		return out
 	},
+}
+
+// lockTransferred reports whether fd's doc comment declares that callers must
+// hold the lock — the documented idiom for copy-on-write helpers shared by
+// several locked writers.
+func lockTransferred(fd *ast.FuncDecl) bool {
+	return fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "must hold")
+}
+
+// checkMutexSpecs scans one function body for guarded-field touches and
+// publish stores, and flags any whose base identifier's mutex is not locked
+// in this function.
+func checkMutexSpecs(p *Package, fd *ast.FuncDecl, specs []mutexSpec) []Finding {
+	// locked collects "base.mutex" for every base.<mutex>.Lock/RLock call.
+	locked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := inner.X.(*ast.Ident); ok {
+			locked[id.Name+"."+inner.Sel.Name] = true
+		}
+		return true
+	})
+
+	var out []Finding
+	flag := func(n ast.Node, base, field, mutex, what string) {
+		out = append(out, Finding{
+			Pos: p.Fset.Position(n.Pos()),
+			Message: fmt.Sprintf("%s %s %s.%s without holding %s.%s",
+				fd.Name.Name, what, base, field, base, mutex),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		for _, spec := range specs {
+			for _, g := range spec.guarded {
+				if sel.Sel.Name == g && !locked[base.Name+"."+spec.mutex] {
+					flag(sel, base.Name, g, spec.mutex, "accesses")
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// base.field.Store(...) — the RCU publish point.
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		store, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || store.Sel.Name != "Store" {
+			return true
+		}
+		inner, ok := store.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := inner.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		for _, spec := range specs {
+			for _, pub := range spec.publish {
+				if inner.Sel.Name == pub && !locked[base.Name+"."+spec.mutex] {
+					flag(call, base.Name, pub, spec.mutex, "publishes")
+				}
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // StorageRows forbids reaching into a TableData's row data from outside

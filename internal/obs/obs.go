@@ -45,39 +45,57 @@ const maxSpans = 4096
 // value is not used directly — construct with New. A nil *Observer is the
 // disabled observer: every method is a cheap no-op.
 //
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use, and the counter/histogram write
+// path is contention-free: the name→cell registries are immutable maps
+// republished copy-on-write behind atomic pointers (the Observer mutex is
+// taken only the first time a name is seen), and each cell is striped per
+// goroutine (see stripe.go), so two sessions bumping the same counter touch
+// different cache lines. Reads (Counter, Snapshot) merge the stripes.
 type Observer struct {
-	mu       sync.Mutex
-	counters map[string]*atomic.Int64
-	hists    map[string]*histogram
+	mu       sync.Mutex // guards events, spans, and registry growth
+	counters atomic.Pointer[map[string]*counterCell]
+	hists    atomic.Pointer[map[string]*histCell]
 	events   []Event
 	evictedE int64
 	spans    []SpanRecord
-	dropped  int64 // spans not recorded past maxSpans
+	spanLen  atomic.Int64 // published len(spans): lock-free saturation check
+	dropped  atomic.Int64 // spans not recorded past maxSpans
 	began    time.Time
 }
 
 // New returns an enabled, empty observer.
 func New() *Observer {
-	return &Observer{
-		counters: map[string]*atomic.Int64{},
-		hists:    map[string]*histogram{},
-		began:    time.Now(),
-	}
+	o := &Observer{began: time.Now()}
+	cm := map[string]*counterCell{}
+	hm := map[string]*histCell{}
+	o.counters.Store(&cm)
+	o.hists.Store(&hm)
+	return o
 }
 
 // Enabled reports whether the observer records anything.
 func (o *Observer) Enabled() bool { return o != nil }
 
-// counter returns the named counter cell, creating it on first use.
-func (o *Observer) counter(name string) *atomic.Int64 {
-	o.mu.Lock()
-	c := o.counters[name]
-	if c == nil {
-		c = &atomic.Int64{}
-		o.counters[name] = c
+// counter returns the named counter cell, creating it on first use. The fast
+// path is one atomic load plus a read of an immutable map; the slow path
+// (first sighting of a name) copies the registry under mu and republishes.
+func (o *Observer) counter(name string) *counterCell {
+	if c := (*o.counters.Load())[name]; c != nil {
+		return c
 	}
-	o.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	old := *o.counters.Load()
+	if c := old[name]; c != nil {
+		return c
+	}
+	next := make(map[string]*counterCell, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	c := &counterCell{}
+	next[name] = c
+	o.counters.Store(&next)
 	return c
 }
 
@@ -88,7 +106,7 @@ func (o *Observer) Add(name string, n int64) {
 	if o == nil {
 		return
 	}
-	o.counter(name).Add(n)
+	o.counter(name).add(n)
 }
 
 // Counter reads a counter's current value (0 when never incremented).
@@ -96,13 +114,11 @@ func (o *Observer) Counter(name string) int64 {
 	if o == nil {
 		return 0
 	}
-	o.mu.Lock()
-	c := o.counters[name]
-	o.mu.Unlock()
+	c := (*o.counters.Load())[name]
 	if c == nil {
 		return 0
 	}
-	return c.Load()
+	return c.load()
 }
 
 // Now returns the current wall-clock time when the observer is enabled and
@@ -128,19 +144,36 @@ func (o *Observer) ObserveSince(name string, began time.Time) {
 	o.Observe(name, time.Since(began))
 }
 
-// Observe records one duration into the named latency histogram.
+// hist returns the named histogram cell, creating it on first use; same
+// copy-on-write registry discipline as counter.
+func (o *Observer) hist(name string) *histCell {
+	if h := (*o.hists.Load())[name]; h != nil {
+		return h
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	old := *o.hists.Load()
+	if h := old[name]; h != nil {
+		return h
+	}
+	next := make(map[string]*histCell, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	h := &histCell{}
+	next[name] = h
+	o.hists.Store(&next)
+	return h
+}
+
+// Observe records one duration into the named latency histogram. Only the
+// calling goroutine's stripe is locked, so concurrent sessions recording into
+// the same histogram do not serialize.
 func (o *Observer) Observe(name string, d time.Duration) {
 	if o == nil {
 		return
 	}
-	o.mu.Lock()
-	h := o.hists[name]
-	if h == nil {
-		h = &histogram{}
-		o.hists[name] = h
-	}
-	h.record(d)
-	o.mu.Unlock()
+	o.hist(name).record(d)
 }
 
 // Event is one entry of the sequenced event stream: degradations, staleness
@@ -196,26 +229,31 @@ type Snapshot struct {
 }
 
 // Snapshot copies the observer's current state. Counters and histograms are
-// deep copies; mutating the snapshot never touches the live observer.
+// deep copies; mutating the snapshot never touches the live observer. Counter
+// and histogram stripes are merged here: each histogram stripe is read under
+// its own mutex, so every stripe contributes an internally consistent view
+// (count always equals the bucket sum) even with writers running.
 func (o *Observer) Snapshot() Snapshot {
 	if o == nil {
 		return Snapshot{}
 	}
+	counters := *o.counters.Load()
+	hists := *o.hists.Load()
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	s := Snapshot{
-		Counters:      make(map[string]int64, len(o.counters)),
-		Histograms:    make(map[string]Histogram, len(o.hists)),
+		Counters:      make(map[string]int64, len(counters)),
+		Histograms:    make(map[string]Histogram, len(hists)),
 		Events:        append([]Event(nil), o.events...),
 		EvictedEvents: o.evictedE,
 		Spans:         append([]SpanRecord(nil), o.spans...),
-		DroppedSpans:  o.dropped,
+		DroppedSpans:  o.dropped.Load(),
 	}
-	for name, c := range o.counters {
-		s.Counters[name] = c.Load()
+	o.mu.Unlock()
+	for name, c := range counters {
+		s.Counters[name] = c.load()
 	}
-	for name, h := range o.hists {
-		s.Histograms[name] = h.snapshot()
+	for name, h := range hists {
+		s.Histograms[name] = h.merged()
 	}
 	return s
 }

@@ -37,13 +37,22 @@ func (o *Observer) Start(name string) Span {
 }
 
 func (o *Observer) startSpan(name string, parent int) Span {
+	// Saturation fast path: once the span buffer is full — the steady state of
+	// any long-lived serving process — count the drop with one atomic instead
+	// of funneling every would-be span through the Observer mutex. spanLen only
+	// grows, so a stale read can at worst take the slow path below.
+	if o.spanLen.Load() >= maxSpans {
+		o.dropped.Add(1)
+		return Span{}
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if len(o.spans) >= maxSpans {
-		o.dropped++
+		o.dropped.Add(1)
 		return Span{}
 	}
 	o.spans = append(o.spans, SpanRecord{Name: name, Parent: parent, Start: time.Now()})
+	o.spanLen.Store(int64(len(o.spans)))
 	return Span{o: o, idx: len(o.spans) - 1}
 }
 

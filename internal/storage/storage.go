@@ -10,13 +10,18 @@
 // (Scan/Snapshot), a lazily materialized [][]Value cache that is kept warm
 // across appends.
 //
-// Concurrency: the store supports concurrent readers (Scan, ScanChunks,
-// Table, TableRows) alongside maintenance writers (Insert, Put, Drop).
-// Snapshots are stable: Scan returns a row-slice header and SnapshotChunks
-// returns frozen chunk headers — appends after the call never reach either —
-// and Put swaps the whole table so in-flight readers keep their old version.
-// The legacy TableData.Rows field is gone; tests and single-threaded loaders
-// use the Rows() adapter, and an astlint analyzer keeps non-test code off it.
+// Concurrency: reads are lock-free. The store's table map and each table's
+// data view are published RCU-style through atomic pointers: Scan, ScanChunks,
+// Table, Cardinality, and TableRows load the current immutable snapshot and
+// never block behind a writer. Writers (Insert, Put, Create, Drop) serialize
+// on a plain mutex, prepare the replacement — a copied table map, or a frozen
+// chunk view — and swap it in; in-flight readers keep whatever generation
+// they loaded. Snapshots are therefore stable by construction: Scan returns a
+// row-slice header and SnapshotChunks returns frozen chunk headers that
+// appends never reach, and Put swaps the whole table so readers keep their
+// old version. The legacy TableData.Rows field is gone; tests and
+// single-threaded loaders use the Rows() adapter, and an astlint analyzer
+// keeps non-test code off it.
 //
 // Key invariant: the table map is keyed by the ASCII-lowercased table name,
 // normalized once when a writer registers the table (Create/Put/Overlay/
@@ -28,64 +33,113 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/faultinject"
 	"repro/internal/sqltypes"
 )
 
+// tableView is one immutable published generation of a table's data: frozen
+// chunks, the row count they cover, and (once materialized) the row-view
+// cache. Readers obtain a view with a single atomic load; writers build the
+// next view under TableData.mu and publish it whole.
+type tableView struct {
+	frozen []*Chunk // frozen: sealed chunks shared, tail header-copied
+	n      int      // row count covered by chunks
+	rows   [][]sqltypes.Value
+	rowsOK bool
+}
+
 // TableData is the stored data of one table: column-major chunks, plus a
 // lazily built row-view cache serving the row-at-a-time engine.
+//
+// The canonical (mutable) chunks live behind mu and are touched only by
+// writers; every read goes through the immutable view published in view, so
+// scans never contend with an in-flight append.
 type TableData struct {
 	Meta *catalog.Table
 
-	mu     sync.RWMutex
-	chunks []*Chunk // canonical column-major data
-	n      int      // total row count
+	mu     sync.Mutex // serializes writers and lazy row materialization
+	chunks []*Chunk   // canonical column-major data (writer-owned)
+	n      int        // total row count (writer-owned)
 
-	// rows is the row-view adapter cache: materialized once on demand,
-	// then kept warm by Insert appending to it. Snapshot hands out the
-	// slice header; appends write past every outstanding header's length.
-	rows   [][]sqltypes.Value
-	rowsOK bool
-
-	// snap caches the frozen chunk view handed to SnapshotChunks; valid
-	// while snapN == n (appends invalidate it).
-	snap  []*Chunk
-	snapN int
+	view atomic.Pointer[tableView] // current read snapshot; never nil
 }
 
 // Store maps table names to their data. All methods are safe for concurrent
-// use; writers (Create, Put, Drop) serialize against readers.
+// use; readers are lock-free (they load the published map), writers
+// (Create, Put, Drop) serialize on mu and swap in a copied map.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*TableData
+	mu     sync.Mutex // serializes writers; readers use tables
+	tables atomic.Pointer[map[string]*TableData]
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{tables: make(map[string]*TableData)}
+	s := &Store{}
+	m := map[string]*TableData{}
+	s.tables.Store(&m)
+	return s
+}
+
+// tablesNow returns the current published table map (read-only).
+func (s *Store) tablesNow() map[string]*TableData {
+	if m := s.tables.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// setTable publishes a copy of the table map with name bound to td (or
+// removed when td is nil). Callers must hold s.mu.
+func (s *Store) setTable(name string, td *TableData) {
+	old := s.tablesNow()
+	next := make(map[string]*TableData, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	if td == nil {
+		delete(next, name)
+	} else {
+		next[name] = td
+	}
+	s.tables.Store(&next)
 }
 
 // newTableData builds a table from row-major data, seeding the row-view
 // cache with the given slice (callers hand ownership over, as they did when
 // rows were the primary representation).
 func newTableData(meta *catalog.Table, rows [][]sqltypes.Value) *TableData {
-	td := &TableData{Meta: meta, snapN: -1}
+	td := &TableData{Meta: meta}
+	v := &tableView{}
 	if len(rows) > 0 {
 		td.chunks = buildChunks(len(meta.Columns), rows)
 		td.n = len(rows)
-		td.rows = rows
-		td.rowsOK = true
+		v = &tableView{frozen: frozenChunks(td.chunks), n: td.n, rows: rows, rowsOK: true}
 	}
+	td.view.Store(v)
 	return td
+}
+
+// frozenChunks returns the read-only view of the canonical chunks: sealed
+// chunks are shared, the tail is header-copied (Chunk.frozen).
+func frozenChunks(chunks []*Chunk) []*Chunk {
+	if len(chunks) == 0 {
+		return nil
+	}
+	snap := make([]*Chunk, len(chunks))
+	for i, c := range chunks {
+		snap[i] = c.frozen()
+	}
+	return snap
 }
 
 // Create registers an empty table with the given schema.
 func (s *Store) Create(meta *catalog.Table) *TableData {
 	td := newTableData(meta, nil)
 	s.mu.Lock()
-	s.tables[strings.ToLower(meta.Name)] = td
+	s.setTable(strings.ToLower(meta.Name), td)
 	s.mu.Unlock()
 	return td
 }
@@ -95,7 +149,7 @@ func (s *Store) Create(meta *catalog.Table) *TableData {
 func (s *Store) Put(meta *catalog.Table, rows [][]sqltypes.Value) *TableData {
 	td := newTableData(meta, rows)
 	s.mu.Lock()
-	s.tables[strings.ToLower(meta.Name)] = td
+	s.setTable(strings.ToLower(meta.Name), td)
 	s.mu.Unlock()
 	return td
 }
@@ -103,16 +157,13 @@ func (s *Store) Put(meta *catalog.Table, rows [][]sqltypes.Value) *TableData {
 // Drop removes a table.
 func (s *Store) Drop(name string) {
 	s.mu.Lock()
-	delete(s.tables, strings.ToLower(name))
+	s.setTable(strings.ToLower(name), nil)
 	s.mu.Unlock()
 }
 
-// Table returns a table's data by name.
+// Table returns a table's data by name. Lock-free.
 func (s *Store) Table(name string) (*TableData, bool) {
-	s.mu.RLock()
-	td, ok := lookupFold(s.tables, name)
-	s.mu.RUnlock()
-	return td, ok
+	return lookupFold(s.tablesNow(), name)
 }
 
 // lookupFold resolves a possibly mixed-case name against the lowercase-keyed
@@ -167,12 +218,14 @@ func (s *Store) MustTable(name string) *TableData {
 // shared store under concurrent readers.
 func (s *Store) Overlay(name string, meta *catalog.Table, rows [][]sqltypes.Value) *Store {
 	out := NewStore()
-	s.mu.RLock()
-	for n, td := range s.tables {
-		out.tables[n] = td
+	next := make(map[string]*TableData)
+	for n, td := range s.tablesNow() {
+		next[n] = td
 	}
-	s.mu.RUnlock()
-	out.tables[strings.ToLower(name)] = newTableData(meta, rows)
+	next[strings.ToLower(name)] = newTableData(meta, rows)
+	out.mu.Lock()
+	out.tables.Store(&next)
+	out.mu.Unlock()
 	return out
 }
 
@@ -207,24 +260,28 @@ func (s *Store) ScanChunks(name string) ([]*Chunk, int, error) {
 }
 
 // Snapshot returns the current rows as a stable slice header: rows appended
-// after the call are not visible through it. The first call after a bulk
-// chunk load materializes the row view; it stays warm across Inserts.
+// after the call are not visible through it. The fast path is one atomic
+// view load; only the first call after a bulk chunk load pays materializing
+// the row view, which then stays warm across Inserts.
 func (t *TableData) Snapshot() [][]sqltypes.Value {
-	t.mu.RLock()
-	if t.rowsOK {
-		rows := t.rows
-		t.mu.RUnlock()
-		return rows
+	v := t.view.Load()
+	if v.rowsOK {
+		return v.rows
 	}
-	t.mu.RUnlock()
-
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if !t.rowsOK {
-		t.rows = materializeRows(t.n, t.chunks)
-		t.rowsOK = true
+	v = t.view.Load() // re-load: a writer may have published while we waited
+	if !v.rowsOK {
+		next := &tableView{
+			frozen: v.frozen,
+			n:      v.n,
+			rows:   materializeRows(v.n, v.frozen),
+			rowsOK: true,
+		}
+		t.view.Store(next)
+		v = next
 	}
-	return t.rows
+	return v.rows
 }
 
 // Rows is the row-view adapter for single-threaded loaders and tests; it is
@@ -234,30 +291,19 @@ func (t *TableData) Snapshot() [][]sqltypes.Value {
 func (t *TableData) Rows() [][]sqltypes.Value { return t.Snapshot() }
 
 // SnapshotChunks returns the frozen chunk view and the row count it covers.
-// Sealed chunks are shared; the tail chunk is header-copied with cloned null
-// bitmaps (see Chunk.frozen). The view is cached until the next append.
+// Lock-free: the view is republished by every append, so readers never wait
+// behind a writer. Sealed chunks are shared; the tail chunk is header-copied
+// with cloned null bitmaps (see Chunk.frozen).
 func (t *TableData) SnapshotChunks() ([]*Chunk, int) {
-	t.mu.RLock()
-	if t.snapN == t.n {
-		chunks, n := t.snap, t.snapN
-		t.mu.RUnlock()
-		return chunks, n
-	}
-	t.mu.RUnlock()
-
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.snapN != t.n {
-		snap := make([]*Chunk, len(t.chunks))
-		for i, c := range t.chunks {
-			snap[i] = c.frozen()
-		}
-		t.snap, t.snapN = snap, t.n
-	}
-	return t.snap, t.snapN
+	v := t.view.Load()
+	return v.frozen, v.n
 }
 
-// Insert appends one row after arity-checking it.
+// Insert appends one row after arity-checking it, then publishes the next
+// read view: the canonical chunks advance under the writer mutex, and the
+// frozen snapshot (plus the row-view cache, when materialized) is swapped in
+// atomically so concurrent scans observe either the old or the new
+// generation, never a half-appended row.
 func (t *TableData) Insert(row []sqltypes.Value) error {
 	if len(row) != len(t.Meta.Columns) {
 		return fmt.Errorf("storage: row arity %d != %d for table %s", len(row), len(t.Meta.Columns), t.Meta.Name)
@@ -270,9 +316,14 @@ func (t *TableData) Insert(row []sqltypes.Value) error {
 	}
 	t.chunks[last].appendRow(row)
 	t.n++
-	if t.rowsOK {
-		t.rows = append(t.rows, row)
+	prev := t.view.Load()
+	next := &tableView{frozen: frozenChunks(t.chunks), n: t.n}
+	if prev.rowsOK {
+		// Keep the row view warm: append writes past every outstanding
+		// snapshot header's length, so older generations stay stable.
+		next.rows, next.rowsOK = append(prev.rows, row), true
 	}
+	t.view.Store(next)
 	t.mu.Unlock()
 	return nil
 }
@@ -284,16 +335,14 @@ func (t *TableData) MustInsert(row ...sqltypes.Value) {
 	}
 }
 
-// Cardinality returns the row count.
+// Cardinality returns the row count. Lock-free.
 func (t *TableData) Cardinality() int {
-	t.mu.RLock()
-	n := t.n
-	t.mu.RUnlock()
-	return n
+	return t.view.Load().n
 }
 
 // TableRows reports a table's cardinality (0 when not loaded); it implements
-// the rewriter's Sizer interface for cost-based AST applicability.
+// the rewriter's Sizer interface for cost-based AST applicability. Lock-free:
+// the cost-based rewrite path sizes tables on every uncached query.
 func (s *Store) TableRows(name string) int {
 	td, ok := s.Table(name)
 	if !ok {
