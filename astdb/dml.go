@@ -8,6 +8,7 @@ import (
 	"repro/internal/maintain"
 	"repro/internal/parser"
 	"repro/internal/qgm"
+	"repro/internal/qgmcheck"
 	"repro/internal/sqltypes"
 )
 
@@ -87,6 +88,11 @@ func (e *Engine) compileDML(sql string, kind qgm.DMLKind) (*qgm.DML, error) {
 	}
 	if err != nil {
 		return nil, compileError(err)
+	}
+	if e.verifyPlans {
+		if verr := qgmcheck.AsError(qgmcheck.CheckDML(dml)); verr != nil {
+			return nil, fmt.Errorf("astdb: built %v failed verification: %w", dml.Kind, verr)
+		}
 	}
 	return dml, nil
 }

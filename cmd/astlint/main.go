@@ -1,13 +1,18 @@
 // Command astlint runs the repo's custom analyzer suite (internal/lint) over
-// the module and exits non-zero on findings. It is a hard CI gate:
+// the module and exits non-zero on unsuppressed findings. It is a hard CI
+// gate:
 //
 //	go run ./cmd/astlint ./...
 //
 // Arguments are package-path prefixes to restrict the run (./... or none =
-// the whole module); -list prints the analyzers instead of running them.
+// the whole module); -list prints the analyzers instead of running them;
+// -json emits a machine-readable report (findings, suppressions, analyzer
+// list) for CI artifact upload. Suppressions (//lint:ignore <rule> <reason>)
+// are always counted and printed so they cannot hide silently.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,8 +22,28 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason,omitempty"` // suppression reason, when suppressed
+}
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	Analyzers   []string      `json:"analyzers"`
+	Findings    []jsonFinding `json:"findings"`
+	Suppressed  []jsonFinding `json:"suppressed"`
+	NumFindings int           `json:"num_findings"`
+	NumSuppress int           `json:"num_suppressed"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit a machine-readable JSON report")
 	flag.Parse()
 
 	if *list {
@@ -40,13 +65,53 @@ func main() {
 	}
 	pkgs = restrict(pkgs, flag.Args())
 
-	findings := lint.Run(pkgs, lint.All())
-	for _, f := range findings {
-		fmt.Println(f)
+	findings, suppressed := lint.RunDetailed(pkgs, lint.All())
+
+	if *asJSON {
+		rep := jsonReport{
+			Findings:    []jsonFinding{},
+			Suppressed:  []jsonFinding{},
+			NumFindings: len(findings),
+			NumSuppress: len(suppressed),
+		}
+		for _, a := range lint.All() {
+			rep.Analyzers = append(rep.Analyzers, a.Name)
+		}
+		for _, f := range findings {
+			rep.Findings = append(rep.Findings, toJSON(f, ""))
+		}
+		for _, s := range suppressed {
+			rep.Suppressed = append(rep.Suppressed, toJSON(s.Finding, s.Reason))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "astlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		for _, s := range suppressed {
+			fmt.Printf("%s: [%s] suppressed (//lint:ignore: %s)\n", s.Finding.Pos, s.Finding.Analyzer, s.Reason)
+		}
 	}
-	if n := len(findings); n > 0 {
-		fmt.Fprintf(os.Stderr, "astlint: %d finding(s)\n", n)
+	fmt.Fprintf(os.Stderr, "astlint: %d finding(s), %d suppression(s)\n", len(findings), len(suppressed))
+	if len(findings) > 0 {
 		os.Exit(1)
+	}
+}
+
+// toJSON converts a finding for the JSON report.
+func toJSON(f lint.Finding, reason string) jsonFinding {
+	return jsonFinding{
+		File:     f.Pos.Filename,
+		Line:     f.Pos.Line,
+		Column:   f.Pos.Column,
+		Analyzer: f.Analyzer,
+		Message:  f.Message,
+		Reason:   reason,
 	}
 }
 

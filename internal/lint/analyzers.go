@@ -7,15 +7,21 @@ import (
 	"strings"
 )
 
-// All returns the full analyzer suite, in reporting order.
+// All returns the full analyzer suite, in reporting order. The first group
+// is syntactic; the last four are the flow-sensitive go/types analyzers
+// (publish-freeze, chunk-freeze, unlock-paths, and the typed
+// mutex-discipline) built on the CFG dataflow engine.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
 		DeprecatedAPI,
 		CtxFirst,
 		ObsNilGuard,
-		MutexDiscipline,
 		StorageRows,
+		PublishFreeze,
+		ChunkFreeze,
+		UnlockPaths,
+		MutexDiscipline,
 	}
 }
 
@@ -31,32 +37,39 @@ var deterministicPkgs = map[string]bool{
 // Determinism forbids wall-clock and randomness in the planning packages.
 // Latency measurement goes through obs.Observer.Now/ObserveSince, which are
 // nil-guarded and zero-cost when observability is off.
+//
+// Test files are covered too (property tests drive the planner and must
+// replay identically), with one carve-out: a *rand.Rand built from a
+// compile-time constant seed — rand.New(rand.NewSource(42)) — is
+// deterministic by construction and allowed; the global rand functions and
+// non-constant seeds are not.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "no time.Now/time.Since/math/rand in internal/core, internal/exec, internal/qgm",
+	Doc:  "no wall-clock or unseeded randomness in internal/core, internal/exec, internal/qgm",
 	Run: func(p *Package) []Finding {
 		if !deterministicPkgs[p.Path] {
 			return nil
 		}
 		var out []Finding
 		for _, f := range p.Files {
-			if f.Test {
-				continue // tests may measure and randomize freely
-			}
-			timeName := ""
+			timeName, randName := "", ""
 			for _, imp := range f.AST.Imports {
 				switch importPathOf(imp) {
 				case "time":
 					timeName = importName(imp)
 				case "math/rand", "math/rand/v2":
-					out = append(out, Finding{
-						Pos: p.Fset.Position(imp.Pos()),
-						Message: fmt.Sprintf("package %s must stay deterministic: do not import %s",
-							p.Path, importPathOf(imp)),
-					})
+					if !f.Test {
+						out = append(out, Finding{
+							Pos: p.Fset.Position(imp.Pos()),
+							Message: fmt.Sprintf("package %s must stay deterministic: do not import %s",
+								p.Path, importPathOf(imp)),
+						})
+						continue
+					}
+					randName = importName(imp)
 				}
 			}
-			if timeName == "" || timeName == "_" {
+			if (timeName == "" || timeName == "_") && (randName == "" || randName == "_") {
 				continue
 			}
 			ast.Inspect(f.AST, func(n ast.Node) bool {
@@ -68,19 +81,56 @@ var Determinism = &Analyzer{
 				if !ok {
 					return true
 				}
-				if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName &&
-					(sel.Sel.Name == "Now" || sel.Sel.Name == "Since") {
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if id.Name == timeName && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since") {
 					out = append(out, Finding{
 						Pos: p.Fset.Position(call.Pos()),
 						Message: fmt.Sprintf("time.%s in deterministic package %s; use obs.Observer.Now/ObserveSince",
 							sel.Sel.Name, p.Path),
 					})
 				}
+				if id.Name == randName && randName != "" {
+					// Allowed: rand.New(...) and rand.NewSource(<const>).
+					// Everything else on the package (rand.Intn, rand.Shuffle,
+					// ...) uses the shared global source.
+					switch sel.Sel.Name {
+					case "New":
+					case "NewSource":
+						if len(call.Args) == 1 && !isConstExpr(p, call.Args[0]) {
+							out = append(out, Finding{
+								Pos: p.Fset.Position(call.Pos()),
+								Message: fmt.Sprintf("rand.NewSource seed must be a compile-time constant in deterministic package %s",
+									p.Path),
+							})
+						}
+					default:
+						out = append(out, Finding{
+							Pos: p.Fset.Position(call.Pos()),
+							Message: fmt.Sprintf("global rand.%s in deterministic package %s; use rand.New(rand.NewSource(<const>))",
+								sel.Sel.Name, p.Path),
+						})
+					}
+				}
 				return true
 			})
 		}
 		return out
 	},
+}
+
+// isConstExpr reports whether e evaluates to a compile-time constant,
+// falling back to a literal check when type info is unavailable.
+func isConstExpr(p *Package, e ast.Expr) bool {
+	if p.Info != nil {
+		if tv, ok := p.Info.Types[e]; ok {
+			return tv.Value != nil
+		}
+	}
+	_, lit := ast.Unparen(e).(*ast.BasicLit)
+	return lit
 }
 
 // DeprecatedAPI forbids reintroducing retired surfaces. Both are deleted —
@@ -279,170 +329,6 @@ var ObsNilGuard = &Analyzer{
 		}
 		return out
 	},
-}
-
-// mutexSpec describes one mutex-discipline rule for a package: fields that
-// may only be touched with the named mutex held, and RCU-publish fields —
-// atomic.Pointer snapshots where readers Load freely but every .Store(...)
-// (the copy-mutate-swap commit) must happen with the writer mutex held.
-type mutexSpec struct {
-	mutex   string   // mutex field name (e.g. "mu", "statusMu")
-	guarded []string // fields needing <base>.<mutex>.Lock in the same function
-	publish []string // atomic.Pointer fields whose .Store(...) needs the lock
-}
-
-// mutexSpecs lists the striped and RCU-published structures the analyzer
-// enforces, per package. Matching is syntactic and identifier-based (no type
-// info): an access `x.field` requires a `x.<mutex>.Lock()` (or RLock) call in
-// the same function, whatever x is — a receiver, a shard picked out of an
-// array, a stripe. Two escapes exist, both visible in the source: functions
-// named New*/new* own their value pre-publication, and a helper whose doc
-// comment says the caller "must hold" the lock transfers the obligation to
-// its (greppable) callers.
-var mutexSpecs = map[string][]mutexSpec{
-	// Store.tables and TableData.view are published snapshots; the canonical
-	// chunk slice is writer-owned under TableData.mu.
-	"repro/internal/storage": {
-		{mutex: "mu", guarded: []string{"chunks"}, publish: []string{"tables", "view"}},
-	},
-	// Each plan-cache shard's LRU list and index live under the shard mutex.
-	"repro/internal/core": {
-		{mutex: "mu", guarded: []string{"ll", "byKey"}},
-	},
-	// Histogram stripes guard their bucket set; the counter/histogram cell
-	// registries are copy-on-write maps published under the Observer mutex.
-	"repro/internal/obs": {
-		{mutex: "mu", guarded: []string{"h"}, publish: []string{"counters", "hists"}},
-	},
-	// AST status snapshots publish under statusMu; the signature index
-	// publishes under its own mu.
-	"repro/internal/catalog": {
-		{mutex: "statusMu", publish: []string{"status"}},
-		{mutex: "mu", publish: []string{"entries"}},
-	},
-	// The engine's AST set and derived maintenance plans publish under mu.
-	"repro/astdb": {
-		{mutex: "mu", publish: []string{"asts", "plans"}},
-	},
-}
-
-// MutexDiscipline enforces the locking rules in mutexSpecs: guarded-field
-// access and RCU-pointer publication only under the owning mutex. It is the
-// generalization of the original storage-only lock analyzer to every striped
-// or atomically-published structure on the serving hot path.
-var MutexDiscipline = &Analyzer{
-	Name: "mutex-discipline",
-	Doc:  "guarded fields and atomic.Pointer publishes take the owning mutex",
-	Run: func(p *Package) []Finding {
-		specs, ok := mutexSpecs[p.Path]
-		if !ok {
-			return nil
-		}
-		var out []Finding
-		for _, f := range p.Files {
-			if f.Test {
-				continue
-			}
-			for _, decl := range f.AST.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "new") {
-					continue // constructors own the value before publication
-				}
-				if lockTransferred(fd) {
-					continue // documented "callers must hold" helper
-				}
-				out = append(out, checkMutexSpecs(p, fd, specs)...)
-			}
-		}
-		return out
-	},
-}
-
-// lockTransferred reports whether fd's doc comment declares that callers must
-// hold the lock — the documented idiom for copy-on-write helpers shared by
-// several locked writers.
-func lockTransferred(fd *ast.FuncDecl) bool {
-	return fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "must hold")
-}
-
-// checkMutexSpecs scans one function body for guarded-field touches and
-// publish stores, and flags any whose base identifier's mutex is not locked
-// in this function.
-func checkMutexSpecs(p *Package, fd *ast.FuncDecl, specs []mutexSpec) []Finding {
-	// locked collects "base.mutex" for every base.<mutex>.Lock/RLock call.
-	locked := map[string]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-			return true
-		}
-		inner, ok := sel.X.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		if id, ok := inner.X.(*ast.Ident); ok {
-			locked[id.Name+"."+inner.Sel.Name] = true
-		}
-		return true
-	})
-
-	var out []Finding
-	flag := func(n ast.Node, base, field, mutex, what string) {
-		out = append(out, Finding{
-			Pos: p.Fset.Position(n.Pos()),
-			Message: fmt.Sprintf("%s %s %s.%s without holding %s.%s",
-				fd.Name.Name, what, base, field, base, mutex),
-		})
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		base, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		for _, spec := range specs {
-			for _, g := range spec.guarded {
-				if sel.Sel.Name == g && !locked[base.Name+"."+spec.mutex] {
-					flag(sel, base.Name, g, spec.mutex, "accesses")
-				}
-			}
-		}
-		return true
-	})
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		// base.field.Store(...) — the RCU publish point.
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		store, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || store.Sel.Name != "Store" {
-			return true
-		}
-		inner, ok := store.X.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		base, ok := inner.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		for _, spec := range specs {
-			for _, pub := range spec.publish {
-				if inner.Sel.Name == pub && !locked[base.Name+"."+spec.mutex] {
-					flag(call, base.Name, pub, spec.mutex, "publishes")
-				}
-			}
-		}
-		return true
-	})
-	return out
 }
 
 // StorageRows forbids reaching into a TableData's row data from outside

@@ -1,9 +1,15 @@
-// Package lint is a stdlib-only static-analysis harness (go/parser + go/ast;
-// no go/packages, no go/analysis) enforcing the repo's architectural
-// invariants: determinism of the planning packages, no new callers of
-// deprecated APIs, context-first entry points, nil-receiver-safe observers,
-// and storage mutex discipline. The cmd/astlint CLI runs every analyzer over
-// the module and exits non-zero on findings; the analyzers are data, so tests
+// Package lint is a stdlib-only static-analysis harness (go/parser, go/ast,
+// and go/types via the source importer; no go/packages, no go/analysis, no
+// golang.org/x/tools) enforcing the repo's architectural invariants. The
+// syntactic analyzers police determinism of the planning packages, deprecated
+// APIs, context-first entry points, and nil-receiver-safe observers; the
+// flow-sensitive suite (publish-freeze, chunk-freeze, unlock-paths,
+// mutex-discipline) builds a control-flow graph per function and runs forward
+// dataflow over it to verify the lock-free serving path's publish/freeze
+// discipline — see DESIGN.md §16 for the invariant catalogue and the engine's
+// limits. The cmd/astlint CLI runs every analyzer over the module and exits
+// non-zero on unsuppressed findings; //lint:ignore <rule> <reason> suppresses
+// one finding and is counted, never silent. The analyzers are data, so tests
 // seed violations through ParseSource and assert each one fires.
 package lint
 
@@ -12,6 +18,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,12 +43,22 @@ type File struct {
 	Test bool // *_test.go
 }
 
-// Package is the unit analyzers see: every file of one directory, with the
-// directory's import path resolved against the module path.
+// Package is the unit analyzers see: every file of one directory sharing one
+// package clause, with the directory's import path resolved against the
+// module path. A directory with an external test package (package foo_test)
+// yields two Packages with the same Path and different Names.
 type Package struct {
 	Path  string // import path, e.g. "repro/internal/core"
+	Name  string // package clause name, e.g. "core" or "core_test"
 	Fset  *token.FileSet
 	Files []*File
+
+	// Filled by TypeCheck. Types/Info may be nil (or partial) when the
+	// package failed to type-check; typed analyzers degrade to silence
+	// rather than report on incomplete information.
+	Types    *types.Package
+	Info     *types.Info
+	TypeErrs []error
 }
 
 // Analyzer is one named rule set. Run inspects a package and reports
@@ -52,40 +69,25 @@ type Analyzer struct {
 	Run  func(p *Package) []Finding
 }
 
-// Run applies the analyzers to the packages and returns all findings in
-// deterministic (file, line, analyzer) order.
+// Run applies the analyzers to the packages and returns the unsuppressed
+// findings in deterministic (file, line, analyzer) order. Use RunDetailed to
+// also see what //lint:ignore comments silenced.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
-	for _, p := range pkgs {
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				f.Analyzer = a.Name
-				out = append(out, f)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		fi, fj := out[i], out[j]
-		if fi.Pos.Filename != fj.Pos.Filename {
-			return fi.Pos.Filename < fj.Pos.Filename
-		}
-		if fi.Pos.Line != fj.Pos.Line {
-			return fi.Pos.Line < fj.Pos.Line
-		}
-		return fi.Analyzer < fj.Analyzer
-	})
+	out, _ := RunDetailed(pkgs, analyzers)
 	return out
 }
 
-// LoadModule parses every Go package under root (the directory containing
-// go.mod), skipping testdata, vendor, and hidden directories. Import paths
-// are derived from the module path declared in go.mod.
+// LoadModule parses and type-checks every Go package under root (the
+// directory containing go.mod), skipping testdata, vendor, and hidden
+// directories. Import paths are derived from the module path declared in
+// go.mod. Files sharing a directory but not a package clause (external
+// foo_test packages) become separate Packages with the same Path.
 func LoadModule(root string) ([]*Package, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, err
 	}
-	byDir := map[string]*Package{}
+	byKey := map[string]*Package{}
 	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
 		if err != nil {
 			return err
@@ -102,7 +104,12 @@ func LoadModule(root string) ([]*Package, error) {
 			return nil
 		}
 		dir := filepath.Dir(path)
-		p := byDir[dir]
+		clause, perr := parser.ParseFile(token.NewFileSet(), path, nil, parser.PackageClauseOnly)
+		if perr != nil {
+			return fmt.Errorf("lint: parsing %s: %w", path, perr)
+		}
+		key := dir + "\x00" + clause.Name.Name
+		p := byKey[key]
 		if p == nil {
 			rel, rerr := filepath.Rel(root, dir)
 			if rerr != nil {
@@ -112,8 +119,8 @@ func LoadModule(root string) ([]*Package, error) {
 			if rel != "." {
 				ipath = modPath + "/" + filepath.ToSlash(rel)
 			}
-			p = &Package{Path: ipath, Fset: token.NewFileSet()}
-			byDir[dir] = p
+			p = &Package{Path: ipath, Name: clause.Name.Name, Fset: token.NewFileSet()}
+			byKey[key] = p
 		}
 		af, perr := parser.ParseFile(p.Fset, path, nil, parser.ParseComments)
 		if perr != nil {
@@ -129,31 +136,44 @@ func LoadModule(root string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkgs := make([]*Package, 0, len(byDir))
-	for _, p := range byDir {
+	pkgs := make([]*Package, 0, len(byKey))
+	for _, p := range byKey {
+		sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Name < p.Files[j].Name })
 		pkgs = append(pkgs, p)
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].Path != pkgs[j].Path {
+			return pkgs[i].Path < pkgs[j].Path
+		}
+		return pkgs[i].Name < pkgs[j].Name
+	})
+	typeCheckModule(modPath, pkgs)
 	return pkgs, nil
 }
 
-// ParseSource builds a single-file package from source text — the seam the
-// per-analyzer tests use to seed violations.
+// ParseSource builds and type-checks a single-file package from source text —
+// the seam the per-analyzer tests use to seed violations. The fixture may
+// claim any import path (e.g. "repro/internal/storage") so typed rules keyed
+// on (package path, type name) match against locally declared stand-in types;
+// stdlib imports resolve for real.
 func ParseSource(importPath, filename, src string) (*Package, error) {
 	fset := token.NewFileSet()
 	af, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
 	if err != nil {
 		return nil, err
 	}
-	return &Package{
+	p := &Package{
 		Path: importPath,
+		Name: af.Name.Name,
 		Fset: fset,
 		Files: []*File{{
 			Name: filename,
 			AST:  af,
 			Test: strings.HasSuffix(filename, "_test.go"),
 		}},
-	}, nil
+	}
+	typeCheckPackage(p, nil)
+	return p, nil
 }
 
 // modulePath extracts the module declaration from a go.mod file.

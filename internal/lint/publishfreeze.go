@@ -1,0 +1,436 @@
+// PublishFreeze: the flow-sensitive verifier for the RCU publish discipline
+// ("copy, mutate, then publish; never write after publish"). Per function it
+// runs a forward may-analysis over the CFG: the abstract state is the set of
+// local roots whose reachable memory has been published through an
+// atomic.Pointer/atomic.Value Store or Swap. After a root enters the set,
+// any write through it — field assign, index assign, map/slice mutation,
+// IncDec, append into its backing, copy onto it, delete from it, or passing
+// it to a callee the summary table does not certify read-only — is a
+// finding. Rebinding the bare variable kills the fact (the name now refers
+// to new memory).
+//
+// Aliases are tracked with a flow-insensitive union-find over the function:
+// plain assignments, &x, composite literals mentioning a root, builtin
+// append pass-through, and range binds all merge classes; call results are
+// assumed fresh (constructors dominate; an identity-returning helper would
+// be a blind spot, noted in DESIGN.md §16). Function literals are analyzed
+// as separate functions with an empty published set.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PublishFreeze proves no writes reach published memory after the publish
+// statement.
+var PublishFreeze = &Analyzer{
+	Name: "publish-freeze",
+	Doc:  "values published via atomic Store/Swap are never written afterwards",
+	Run:  runPublishFreeze,
+}
+
+func runPublishFreeze(p *Package) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		forEachFuncBody(f, func(name string, _ *ast.FuncType, _ *ast.FieldList, body *ast.BlockStmt) {
+			out = append(out, publishFreezeFunc(p, name, body)...)
+		})
+	}
+	return out
+}
+
+// forEachFuncBody visits every function body in the file: declared functions
+// and, separately, each function literal (closures are not inlined). recv is
+// nil for functions and literals.
+func forEachFuncBody(f *File, visit func(name string, ft *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt)) {
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd.Type, fd.Recv, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(fd.Name.Name+".func", lit.Type, nil, lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// pubState is the published-root set.
+type pubState struct {
+	pub map[types.Object]bool
+}
+
+func newPubState() *pubState { return &pubState{pub: map[types.Object]bool{}} }
+
+func (s *pubState) cloneState() flowState {
+	n := newPubState()
+	for k := range s.pub {
+		n.pub[k] = true
+	}
+	return n
+}
+
+func (s *pubState) joinFrom(src flowState) bool {
+	o := src.(*pubState)
+	changed := false
+	for k := range o.pub {
+		if !s.pub[k] {
+			s.pub[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// aliasSets is the union-find over a function's variables.
+type aliasSets struct {
+	parent map[types.Object]types.Object
+}
+
+func newAliasSets() *aliasSets { return &aliasSets{parent: map[types.Object]types.Object{}} }
+
+func (a *aliasSets) find(o types.Object) types.Object {
+	p, ok := a.parent[o]
+	if !ok || p == o {
+		return o
+	}
+	r := a.find(p)
+	a.parent[o] = r
+	return r
+}
+
+func (a *aliasSets) union(x, y types.Object) {
+	rx, ry := a.find(x), a.find(y)
+	if rx != ry {
+		a.parent[rx] = ry
+	}
+}
+
+// classOf returns every known object in o's alias class (including o).
+func (a *aliasSets) classOf(o types.Object) []types.Object {
+	root := a.find(o)
+	out := []types.Object{o}
+	for k := range a.parent {
+		if k != o && a.find(k) == root {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// aliasRoots collects the identifiers in e whose memory the value of e may
+// share: idents through selectors/indexes/addr-of/slices, composite-literal
+// elements, and builtin append pass-through. Call results are assumed fresh.
+func aliasRoots(info *types.Info, e ast.Expr, out []types.Object) []types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if o := info.Uses[x]; o != nil {
+			if _, ok := o.(*types.Var); ok {
+				out = append(out, o)
+			}
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.SliceExpr:
+		if o := rootObj(info, e); o != nil {
+			out = append(out, o)
+		}
+	case *ast.ParenExpr:
+		out = aliasRoots(info, x.X, out)
+	case *ast.UnaryExpr:
+		out = aliasRoots(info, x.X, out)
+	case *ast.TypeAssertExpr:
+		out = aliasRoots(info, x.X, out)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			out = aliasRoots(info, el, out)
+		}
+	case *ast.CallExpr:
+		if isBuiltin(info, x, "append") {
+			for _, arg := range x.Args {
+				out = aliasRoots(info, arg, out)
+			}
+		}
+	}
+	return out
+}
+
+// buildAliases runs the flow-insensitive alias pass over a body.
+func buildAliases(info *types.Info, body *ast.BlockStmt) *aliasSets {
+	a := newAliasSets()
+	link := func(lhs ast.Expr, rhs ast.Expr) {
+		l := rootObj(info, lhs)
+		if l == nil {
+			return
+		}
+		for _, r := range aliasRoots(info, rhs, nil) {
+			a.union(l, r)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					link(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i := range vs.Names {
+					link(vs.Names[i], vs.Values[i])
+				}
+			}
+		case *ast.RangeStmt:
+			// Key/value bind aliases the ranged container's memory.
+			if n.Value != nil {
+				link(n.Value, n.X)
+			}
+			if n.Key != nil {
+				link(n.Key, n.X)
+			}
+		}
+		return true
+	})
+	return a
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	if o := info.Uses[id]; o != nil {
+		_, isB := o.(*types.Builtin)
+		return isB
+	}
+	return false
+}
+
+// publishFreezeFunc analyzes one function body.
+func publishFreezeFunc(p *Package, name string, body *ast.BlockStmt) []Finding {
+	// Cheap pre-scan: no atomic Store/Swap, no analysis.
+	hasPublish := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := publishCall(p.Info, call); ok {
+				hasPublish = true
+			}
+		}
+		return !hasPublish
+	})
+	if !hasPublish {
+		return nil
+	}
+	aliases := buildAliases(p.Info, body)
+	g := buildCFG(body)
+
+	transfer := func(emit func(n ast.Node, format string, args ...any)) transferFn {
+		return func(n ast.Node, st flowState) flowState {
+			s := st.(*pubState)
+			if emit != nil {
+				checkPublishedWrites(p, aliases, s, n, emit)
+			}
+			applyPublishTransfer(p, aliases, s, n)
+			return s
+		}
+	}
+
+	in := forward(g, newPubState(), transfer(nil))
+
+	var out []Finding
+	emit := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(n.Pos()),
+			Message: name + ": " + fmt.Sprintf(format, args...),
+		})
+	}
+	for i, b := range g.blocks {
+		if in[i] == nil {
+			continue
+		}
+		blockOutState(b, in[i], transfer(emit))
+	}
+	return out
+}
+
+// applyPublishTransfer updates the published set across one node: Store/Swap
+// publishes the argument's alias class; rebinding a bare identifier kills
+// its fact.
+func applyPublishTransfer(p *Package, aliases *aliasSets, s *pubState, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range n.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				if o := rootObj(p.Info, id); o != nil {
+					delete(s.pub, o)
+				}
+			}
+		}
+	}
+	inspectShallow(n, func(call *ast.CallExpr) {
+		arg, ok := publishCall(p.Info, call)
+		if !ok {
+			return
+		}
+		for _, r := range aliasRoots(p.Info, arg, nil) {
+			for _, m := range aliases.classOf(r) {
+				s.pub[m] = true
+			}
+		}
+	})
+}
+
+// checkPublishedWrites reports writes through published roots at one node,
+// using the pre-state (publishes in the same statement take effect after).
+func checkPublishedWrites(p *Package, aliases *aliasSets, s *pubState, n ast.Node, emit func(ast.Node, string, ...any)) {
+	published := func(e ast.Expr) (types.Object, bool) {
+		o := rootObj(p.Info, e)
+		if o == nil {
+			return nil, false
+		}
+		return o, s.pub[o]
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range n.Lhs {
+			if _, ok := ast.Unparen(l).(*ast.Ident); ok {
+				continue // rebind, not a write through
+			}
+			if o, ok := published(l); ok {
+				emit(l, "write to %s after it was published", o.Name())
+			}
+		}
+	case *ast.IncDecStmt:
+		if _, ok := ast.Unparen(n.X).(*ast.Ident); !ok {
+			if o, ok := published(n.X); ok {
+				emit(n, "write to %s after it was published", o.Name())
+			}
+		}
+	case *ast.SendStmt:
+		// Channel sends do not mutate tracked memory.
+	}
+	inspectShallow(n, func(call *ast.CallExpr) {
+		if _, isPub := publishCall(p.Info, call); isPub {
+			return
+		}
+		switch {
+		case isBuiltin(p.Info, call, "append"):
+			if len(call.Args) > 0 {
+				if o, ok := published(call.Args[0]); ok {
+					emit(call, "append into backing of published %s", o.Name())
+				}
+			}
+			return
+		case isBuiltin(p.Info, call, "delete"), isBuiltin(p.Info, call, "clear"):
+			if len(call.Args) > 0 {
+				if o, ok := published(call.Args[0]); ok {
+					emit(call, "mutation of published %s", o.Name())
+				}
+			}
+			return
+		case isBuiltin(p.Info, call, "copy"):
+			if len(call.Args) > 0 {
+				if o, ok := published(call.Args[0]); ok {
+					emit(call, "copy into backing of published %s", o.Name())
+				}
+			}
+			return
+		}
+		if harmlessCall(p.Info, call) {
+			return
+		}
+		f := calleeOf(p.Info, call)
+		// Method receiver.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if selInfo, ok := p.Info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+				if o, pubbed := published(sel.X); pubbed && calleeEffectOn(f, -1) {
+					emit(call, "published %s passed as receiver to %s, which may mutate it", o.Name(), calleeName(f, call))
+				}
+			}
+		}
+		for i, arg := range call.Args {
+			if !pointerish(p.Info, arg) {
+				continue
+			}
+			if o, ok := published(arg); ok && calleeEffectOn(f, i) {
+				emit(call, "published %s passed to %s, which is not certified read-only", o.Name(), calleeName(f, call))
+			}
+		}
+	})
+}
+
+// calleeName renders a callee for messages.
+func calleeName(f *types.Func, call *ast.CallExpr) string {
+	if f != nil {
+		return funcKey(f)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "callee"
+}
+
+// pointerish reports whether a value of e's type can carry shared mutable
+// memory (pointers, slices, maps, chans, interfaces, funcs, or structs
+// containing them). Scalars and strings cannot be written through.
+func pointerish(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // unresolved: stay conservative
+	}
+	return typeCarriesPointer(tv.Type, 0)
+}
+
+func typeCarriesPointer(t types.Type, depth int) bool {
+	if depth > 8 {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return typeCarriesPointer(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeCarriesPointer(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// inspectShallow walks n's subtree calling fn on every call expression,
+// without descending into nested function literals.
+func inspectShallow(n ast.Node, fn func(*ast.CallExpr)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}

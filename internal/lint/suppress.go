@@ -1,0 +1,103 @@
+// //lint:ignore suppression comments. A finding is suppressed when the line
+// it is reported on — or the line directly above it — carries a comment of
+// the form:
+//
+//	//lint:ignore <rule> <reason>
+//
+// naming the finding's analyzer. The reason is mandatory: a bare ignore is
+// itself a finding (rule "lint-ignore"), and suppressed findings are
+// returned separately so cmd/astlint can count and print them — suppressions
+// never disappear silently.
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// Suppression is one finding silenced by a //lint:ignore comment.
+type Suppression struct {
+	Finding Finding
+	Reason  string
+}
+
+// suppressKey identifies a (file, line, rule) suppression site.
+type suppressKey struct {
+	file string
+	line int
+	rule string
+}
+
+// collectSuppressions scans a package's comments for //lint:ignore
+// directives. Malformed directives (missing rule or reason) are returned as
+// findings.
+func collectSuppressions(p *Package) (map[suppressKey]string, []Finding) {
+	sites := map[suppressKey]string{}
+	var bad []Finding
+	for _, f := range p.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Analyzer: "lint-ignore",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				rule := fields[0]
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), rule))
+				sites[suppressKey{file: pos.Filename, line: pos.Line, rule: rule}] = reason
+			}
+		}
+	}
+	return sites, bad
+}
+
+// RunDetailed applies the analyzers and splits results into active findings
+// and suppressed ones, both in deterministic order.
+func RunDetailed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Suppression) {
+	var out []Finding
+	var sup []Suppression
+	for _, p := range pkgs {
+		sites, bad := collectSuppressions(p)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				f.Analyzer = a.Name
+				reason, ok := sites[suppressKey{f.Pos.Filename, f.Pos.Line, a.Name}]
+				if !ok {
+					reason, ok = sites[suppressKey{f.Pos.Filename, f.Pos.Line - 1, a.Name}]
+				}
+				if ok {
+					sup = append(sup, Suppression{Finding: f, Reason: reason})
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sortFindings(out)
+	sort.Slice(sup, func(i, j int) bool { return findingLess(sup[i].Finding, sup[j].Finding) })
+	return out, sup
+}
+
+func findingLess(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	return a.Analyzer < b.Analyzer
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool { return findingLess(fs[i], fs[j]) })
+}

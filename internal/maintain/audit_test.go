@@ -1,0 +1,93 @@
+package maintain
+
+// The delta-plan audit in action: a plan whose derived ordinals drift from
+// the definition (the kind of corruption an Analyze bug or a stale cached
+// plan would produce) must be rejected before the merge runs, degrading the
+// refresh to full recomputation — and the materialization must still match a
+// fresh evaluation afterwards. Routing alone cannot catch this: the routing
+// decision was precomputed from the same (now wrong) ordinals.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCorruptPlanOrdinalsFallBackToFullRecompute(t *testing.T) {
+	f := newFixture(t, 800)
+	ca := f.compile(t, "audit", `select flid, count(*) as c, sum(qty) as s from trans group by flid`)
+	p := f.m.Analyze(ca)
+	if s, reason := p.DeleteRouting("trans"); s != Incremental {
+		t.Fatalf("want incremental delete routing: %s", reason)
+	}
+
+	// Sanity: the healthy plan passes the audit and merges incrementally.
+	n, stats, err := f.m.ApplyDelete([]*Plan{p}, buildDelete(t, f, `delete from trans where qty = 1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || stats[0].Strategy != Incremental {
+		t.Fatalf("healthy delete: n=%d stats=%+v, want incremental", n, stats)
+	}
+	checkAgainstRecompute(t, f, ca)
+
+	// Corrupt the tracker ordinal to point at the grouping key. Routing still
+	// says incremental, so without the audit the merge would subtract key
+	// values as group counts.
+	p.counterCol = 0
+	n, stats, err = f.m.ApplyDelete([]*Plan{p}, buildDelete(t, f, `delete from trans where qty = 2`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("predicate matched nothing")
+	}
+	if stats[0].Strategy != FullRecompute {
+		t.Fatalf("corrupt plan refreshed via %v, want full recompute: %+v", stats[0].Strategy, stats[0])
+	}
+	checkAgainstRecompute(t, f, ca)
+
+	// The insert path runs the same gate.
+	rows := randTransRows(f, rand.New(rand.NewSource(7)), 30)
+	istats, err := f.m.ApplyInsert([]*Plan{p}, "trans", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if istats[0].Strategy != FullRecompute {
+		t.Fatalf("corrupt plan insert refreshed via %v, want full recompute", istats[0].Strategy)
+	}
+	checkAgainstRecompute(t, f, ca)
+
+	// Restoring the ordinal restores incremental maintenance.
+	p.counterCol = 1
+	n, stats, err = f.m.ApplyDelete([]*Plan{p}, buildDelete(t, f, `delete from trans where qty = 3`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || stats[0].Strategy != Incremental {
+		t.Fatalf("restored delete: n=%d stats=%+v, want incremental", n, stats)
+	}
+	checkAgainstRecompute(t, f, ca)
+}
+
+// A key-partition corruption (the plan claiming an aggregate column is a key)
+// is likewise caught by the audit on the update path.
+func TestCorruptKeyPartitionFallsBackOnUpdate(t *testing.T) {
+	f := newFixture(t, 600)
+	ca := f.compile(t, "auditu", `select fpgid, count(*) as c, sum(qty) as s from trans group by fpgid`)
+	p := f.m.Analyze(ca)
+	if s, reason := p.DeleteRouting("trans"); s != Incremental {
+		t.Fatalf("want incremental routing: %s", reason)
+	}
+	p.keyCols = []int{0, 1}
+	n, stats, err := f.m.ApplyUpdate([]*Plan{p}, buildUpdate(t, f, `update trans set qty = qty + 1 where qty = 2`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("predicate matched nothing")
+	}
+	if stats[0].Strategy != FullRecompute {
+		t.Fatalf("corrupt plan update refreshed via %v, want full recompute", stats[0].Strategy)
+	}
+	checkAgainstRecompute(t, f, ca)
+}

@@ -249,6 +249,9 @@ func (m *Maintainer) dmlDelta(p *Plan, table, site string, oldRows, newRows [][]
 	if err := faultinject.Hit(site); err != nil {
 		return nil, err
 	}
+	if err := m.auditPlan(p); err != nil {
+		return nil, err
+	}
 	td := m.store.MustTable(table)
 	var del, ins *exec.Result
 	if len(oldRows) > 0 {

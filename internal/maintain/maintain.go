@@ -25,6 +25,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/qgm"
+	"repro/internal/qgmcheck"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
 )
@@ -354,6 +355,30 @@ func (p *Plan) analyzeDelete(gb *qgm.Box) {
 	p.delReason = ""
 }
 
+// deltaProjection exposes the plan's derived ordinal tables for qgmcheck's
+// delta-plan audit.
+func (p *Plan) deltaProjection() qgmcheck.DeltaPlan {
+	return qgmcheck.DeltaPlan{
+		Graph:        p.AST.Graph,
+		KeyCols:      p.keyCols,
+		CounterCol:   p.counterCol,
+		ScopedCols:   p.scopedCols,
+		KeyLowerOrds: p.keyLowerOrds,
+	}
+}
+
+// auditPlan gates an incremental refresh: a plan whose ordinal tables
+// disagree with its definition graph would merge the wrong columns, so any
+// violation turns into an error and the caller falls back to full
+// recomputation (which does not consult the ordinals).
+func (m *Maintainer) auditPlan(p *Plan) error {
+	if vs := qgmcheck.CheckDeltaPlan(p.deltaProjection()); len(vs) > 0 {
+		m.obsv.Add("maintain.plan.audit_failures", 1)
+		return fmt.Errorf("maintain: plan for %s failed verification: %w", p.Name(), qgmcheck.AsError(vs))
+	}
+	return nil
+}
+
 // Stats reports one refresh.
 type Stats struct {
 	AST       string
@@ -522,6 +547,9 @@ func (m *Maintainer) incrementalRefresh(p *Plan, table string, rows [][]sqltypes
 		}
 	}()
 	if err := faultinject.Hit("maintain.incremental:" + p.AST.Def.Name); err != nil {
+		return st, err
+	}
+	if err := m.auditPlan(p); err != nil {
 		return st, err
 	}
 
